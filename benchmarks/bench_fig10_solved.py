@@ -1,0 +1,44 @@
+"""Figure 10: number of solved benchmarks, broken down by track.
+
+Paper's shape: DryadSynth solves the most benchmarks in every track; CVC4
+(cegqi) and EUSolver trail; LoopInvGen participates in INV only.
+"""
+
+from repro.bench import report
+
+
+def test_fig10_solved_by_track(benchmark, suite_results):
+    table = benchmark(report.fig10_solved_by_track, suite_results)
+    print()
+    print(report.render_solved_by_track(table, "Figure 10: solved benchmarks by track"))
+
+    def total(solver):
+        return sum(table.get(solver, {}).values())
+
+    # Headline claim: DryadSynth solves at least as many as every baseline,
+    # overall and per track.
+    for baseline in ("cegqi", "eusolver", "loopinvgen", "height-enum"):
+        assert total("dryadsynth") >= total(baseline), (
+            f"dryadsynth must dominate {baseline} overall"
+        )
+    for track in ("INV", "CLIA", "General"):
+        for baseline in ("cegqi", "eusolver", "loopinvgen"):
+            assert table["dryadsynth"][track] >= table.get(baseline, {}).get(
+                track, 0
+            ), f"dryadsynth must lead {baseline} on the {track} track"
+    # LoopInvGen is INV-only.
+    assert table.get("loopinvgen", {}).get("CLIA", 0) == 0
+    assert table.get("loopinvgen", {}).get("General", 0) == 0
+
+
+def test_fig10_unique_solves(suite_results):
+    """The paper reports 58 benchmarks solved only by DryadSynth."""
+    competitors = {"dryadsynth", "cegqi", "eusolver", "loopinvgen"}
+    competition = [r for r in suite_results if r.solver in competitors]
+    uniques = report.unique_solves(competition)
+    print()
+    for solver, benches in sorted(uniques.items()):
+        print(f"uniquely solved by {solver}: {len(benches)} -> {benches}")
+    assert len(uniques.get("dryadsynth", [])) >= 1, (
+        "DryadSynth should solve some benchmarks no baseline solves"
+    )

@@ -1,0 +1,41 @@
+"""Figure 12: total solving time versus number of solved benchmarks.
+
+One cumulative curve per solver and track: after sorting a solver's solve
+times, point ``(n, t)`` says its ``n`` fastest solves took ``t`` seconds in
+total.  Paper's shape: DryadSynth's curve reaches further right (more
+solved) while staying low (less total time) than the baselines', on the
+CLIA and General tracks especially.
+"""
+
+from repro.bench import report
+
+_COMPETITORS = ("dryadsynth", "cegqi", "eusolver", "loopinvgen")
+
+
+def _final_point(curves, solver):
+    points = curves.get(solver) or []
+    return points[-1] if points else (0, 0.0)
+
+
+def test_fig12_curves_per_track(benchmark, suite_results):
+    curves_all = benchmark(report.fig12_time_vs_solved, suite_results)
+    print()
+    for track in (None, "INV", "CLIA", "General"):
+        curves = (
+            curves_all
+            if track is None
+            else report.fig12_time_vs_solved(suite_results, track)
+        )
+        label = track or "All tracks"
+        print(f"-- {label} --")
+        for solver in _COMPETITORS:
+            solved, total = _final_point(curves, solver)
+            print(f"  {solver:12s} solved={solved:3d} total={total:8.2f}s")
+    # Shape: on every track DryadSynth ends at least as far right as each
+    # baseline (it solves a superset-sized count).
+    for track in ("INV", "CLIA", "General"):
+        curves = report.fig12_time_vs_solved(suite_results, track)
+        d_solved, _ = _final_point(curves, "dryadsynth")
+        for baseline in ("cegqi", "eusolver", "loopinvgen"):
+            b_solved, _ = _final_point(curves, baseline)
+            assert d_solved >= b_solved, (track, baseline)

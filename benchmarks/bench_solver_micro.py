@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the individual engines on representative problems.
+
+These time actual solver executions (not aggregate reporting), giving a
+stable per-engine performance series for regression tracking:
+
+- the deductive component on the Figure 9 max3 pipeline;
+- loop summarisation on Example 2.14;
+- fixed-height symbolic synthesis (Algorithm 2) on max2;
+- the SMT substrate on a fixed QF_LIA query.
+"""
+
+from repro.lang import (
+    add,
+    and_,
+    eq,
+    ge,
+    implies,
+    int_var,
+    ite,
+    le,
+    lt,
+    not_,
+    or_,
+)
+from repro.lang.sorts import INT
+from repro.sygus.grammar import clia_grammar
+from repro.sygus.problem import InvariantProblem, SygusProblem, SynthFun
+from repro.synth.config import SynthConfig
+from repro.synth.deduction import Deducer
+from repro.synth.fixed_height import fixed_height
+
+x, y, z = int_var("x"), int_var("y"), int_var("z")
+
+
+def _max3_problem():
+    fun = SynthFun("f", (x, y, z), INT, clia_grammar((x, y, z)))
+    fx = fun.apply((x, y, z))
+    spec = and_(
+        ge(fx, x),
+        ge(fx, y),
+        ge(fx, z),
+        or_(eq(fx, x), eq(fx, y), eq(fx, z)),
+    )
+    return SygusProblem(fun, spec, (x, y, z), name="max3")
+
+
+def test_deduction_max3(benchmark):
+    problem = _max3_problem()
+
+    def run():
+        result = Deducer(problem).deduct()
+        assert result.solution is not None
+        return result.solution
+
+    benchmark(run)
+
+
+def test_loop_summary_example_2_14(benchmark):
+    inv = InvariantProblem.from_updates(
+        (x,),
+        eq(x, 0),
+        (ite(lt(x, 100), add(x, 1), x),),
+        implies(not_(lt(x, 100)), eq(x, 100)),
+    )
+    problem = inv.to_sygus()
+
+    def run():
+        result = Deducer(problem).deduct()
+        assert result.solution is not None
+        return result.solution
+
+    benchmark(run)
+
+
+def test_fixed_height_max2(benchmark):
+    fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+    fx = fun.apply((x, y))
+    spec = and_(ge(fx, x), ge(fx, y), or_(eq(fx, x), eq(fx, y)))
+    problem = SygusProblem(fun, spec, (x, y), name="max2")
+    config = SynthConfig()
+
+    def run():
+        body = fixed_height(problem, 2, config)
+        assert body is not None
+        return body
+
+    benchmark(run)
+
+
+def test_smt_substrate_query(benchmark):
+    from repro.smt.solver import SmtSolver, Status
+
+    maximum = ite(ge(x, y), x, y)
+    formula = and_(
+        eq(maximum, z),
+        le(x, 100),
+        ge(x, -100),
+        le(y, 100),
+        implies(ge(z, 50), ge(add(x, y), 0)),
+    )
+
+    def run():
+        result = SmtSolver().check(formula)
+        assert result.status is Status.SAT
+        return result
+
+    benchmark(run)

@@ -1,0 +1,35 @@
+"""Table 1: number of smallest solutions and median solution size.
+
+Computed over commonly solved benchmarks with the competition's pseudo-log
+size buckets.  Paper's shape: EUSolver (purely enumerative, smallest-first)
+has the most smallest solutions and small medians; CVC4/CEGQI produces by
+far the largest solutions (ite cascades); DryadSynth sits in between.
+"""
+
+from repro.bench import report
+
+_COMPETITORS = {"dryadsynth", "cegqi", "eusolver", "loopinvgen"}
+
+
+def test_table1_solution_sizes(benchmark, suite_results):
+    competition = [r for r in suite_results if r.solver in _COMPETITORS]
+    table = benchmark(report.table1_solution_sizes, competition)
+    print()
+    for track, per_solver in table.items():
+        rows = [
+            [solver, data["smallest"], data["median_size"], data["common"]]
+            for solver, data in sorted(per_solver.items())
+        ]
+        print(
+            report.render_table(
+                ["solver", "smallest", "median size", "common benchmarks"],
+                rows,
+                f"Table 1 ({track})",
+            )
+        )
+        print()
+    # Shape: wherever CLIA-track sizes are comparable, CEGQI's median
+    # solution is the largest (the paper's ite-cascade signature).
+    clia = table.get("CLIA", {})
+    if "cegqi" in clia and "eusolver" in clia and clia["cegqi"]["common"] >= 2:
+        assert clia["cegqi"]["median_size"] >= clia["eusolver"]["median_size"]

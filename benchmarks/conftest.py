@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure-regeneration benchmark harness.
+
+The paper derives Figures 10-16 and Table 1 from one benchmark campaign;
+likewise, all harness files here share a single cached portfolio run.  The
+knobs:
+
+- ``REPRO_BENCH_TIMEOUT`` — per-(benchmark, solver) budget in seconds
+  (default 10; the paper used 1800 on StarExec).
+- ``REPRO_BENCH_QUICK`` — set to 1 to restrict the suite to the benchmarks
+  with difficulty <= 2 (a fast smoke campaign).
+- ``REPRO_BENCH_CACHE`` — path of the results cache (default:
+  ``bench_results.json`` at the repository root).
+
+Results are cached on disk, so the first ``pytest benchmarks/`` pays for the
+campaign and later runs only regenerate the figures.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import DEFAULT_TIMEOUT, ResultsCache, run_suite
+from repro.bench.suite import full_suite
+
+
+def _selected_benchmarks():
+    suite = full_suite()
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        suite = [b for b in suite if b.difficulty <= 2]
+    return suite
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """All portfolio runs (one per benchmark x solver), cached on disk."""
+    return run_suite(
+        _selected_benchmarks(),
+        timeout=DEFAULT_TIMEOUT,
+        cache=ResultsCache(),
+    )
+
+
+@pytest.fixture(scope="session")
+def track_counts():
+    from collections import Counter
+
+    return Counter(b.track for b in _selected_benchmarks())

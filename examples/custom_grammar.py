@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Arbitrary user grammars (the paper's General track).
+
+Three scenarios:
+
+1. ``G_qm`` (Example 2.7): the paper's running example grammar, whose only
+   conditional operator is ``qm(a, b) = ite(a < 0, b, a)``.  We synthesize
+   max2, which needs the non-obvious trick ``x + qm(y - x, 0)``.
+2. The Match rule (Figure 7): a grammar whose only operator is
+   ``double(a) = a + a`` with reference spec ``f(x) = x+x+x+x`` — solved
+   deductively by folding the reference into ``double(double(x))``.
+3. The paper's full running example, max3 in ``G_qm`` (Example 2.12) —
+   solved by subterm division; expensive on the pure-Python substrate, so it
+   only runs when invoked with ``--max3``.
+
+Run:  python examples/custom_grammar.py [--max3]
+"""
+
+import sys
+
+from repro import solve_sygus
+from repro.lang import add, and_, apply_fn, eq, ge, int_const, int_var, ite
+from repro.lang.sorts import INT
+from repro.sygus.grammar import Grammar, InterpretedFunction, nonterminal, qm_grammar
+from repro.sygus.problem import SygusProblem, SynthFun
+
+
+def qm_max2() -> None:
+    print("== max2 in the qm grammar ==")
+    x, y = int_var("x"), int_var("y")
+    fun = SynthFun("max2", (x, y), INT, qm_grammar((x, y)))
+    spec = eq(fun.apply((x, y)), ite(ge(x, y), x, y))
+    problem = SygusProblem(fun, spec, (x, y), track="General", name="qm-max2")
+    outcome = solve_sygus(problem, timeout=120)
+    assert outcome.solution is not None
+    print("solution:", outcome.solution.define_fun())
+    print("in grammar:", problem.synth_fun.grammar.generates(outcome.solution.body))
+    print(f"time: {outcome.solution.time_seconds:.2f}s")
+
+
+def match_rule_double() -> None:
+    print("\n== the Match rule: fold x+x+x+x into double(double(x)) ==")
+    x = int_var("x")
+    x1 = int_var("x1")
+    double = InterpretedFunction("double", (x1,), add(x1, x1))
+    s = nonterminal("S", INT)
+    grammar = Grammar(
+        nonterminals={"S": INT},
+        start="S",
+        productions={
+            "S": [x, int_const(0), int_const(1), apply_fn("double", (s,), INT)]
+        },
+        interpreted={"double": double},
+        params=(x,),
+    )
+    fun = SynthFun("quadruple", (x,), INT, grammar)
+    spec = eq(fun.apply((x,)), add(x, x, x, x))
+    problem = SygusProblem(fun, spec, (x,), track="General", name="double-2")
+    outcome = solve_sygus(problem, timeout=30)
+    assert outcome.solution is not None
+    print("solution:", outcome.solution.define_fun())
+    print("solved by deduction (Match):", outcome.stats.deduction_solved)
+
+
+def qm_max3() -> None:
+    print("\n== Example 2.12: max3 in the qm grammar (slow) ==")
+    x, y, z = int_var("x"), int_var("y"), int_var("z")
+    fun = SynthFun("max3", (x, y, z), INT, qm_grammar((x, y, z)))
+    spec = eq(
+        fun.apply((x, y, z)),
+        ite(and_(ge(x, y), ge(x, z)), x, ite(ge(y, z), y, z)),
+    )
+    problem = SygusProblem(fun, spec, (x, y, z), track="General", name="qm-max3")
+    outcome = solve_sygus(problem, timeout=1200)
+    if outcome.solution is None:
+        print("not solved within the budget (the pure-Python SMT substrate "
+              "is orders of magnitude slower than Z3 on this one)")
+        return
+    print("solution:", outcome.solution.define_fun())
+    ok, _ = problem.verify(outcome.solution.body)
+    print("verified:", ok)
+
+
+if __name__ == "__main__":
+    qm_max2()
+    match_rule_double()
+    if "--max3" in sys.argv:
+        qm_max3()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a SyGuS problem with the cooperative synthesizer.
+
+Two routes into the library:
+
+1. parse a SyGuS-IF problem text (the competition interchange format);
+2. build the problem programmatically with the term DSL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import parse_sygus_text, solve_sygus
+from repro.lang import and_, eq, ge, int_var, or_
+from repro.lang.sorts import INT
+from repro.sygus.grammar import clia_grammar
+from repro.sygus.problem import SygusProblem, SynthFun
+
+MAX2_SL = """
+(set-logic LIA)
+(synth-fun max2 ((x Int) (y Int)) Int)
+(declare-var x Int)
+(declare-var y Int)
+(constraint (>= (max2 x y) x))
+(constraint (>= (max2 x y) y))
+(constraint (or (= (max2 x y) x) (= (max2 x y) y)))
+(check-synth)
+"""
+
+
+def from_sygus_text() -> None:
+    print("== from SyGuS-IF text ==")
+    problem = parse_sygus_text(MAX2_SL, name="max2")
+    outcome = solve_sygus(problem, timeout=60)
+    assert outcome.solution is not None
+    print("solution:", outcome.solution.define_fun())
+    print(f"engine:   {outcome.solution.engine}")
+    print(f"time:     {outcome.solution.time_seconds:.3f}s")
+    print(f"size:     {outcome.solution.size}, height {outcome.solution.height}")
+
+
+def programmatically() -> None:
+    print("\n== built programmatically (max of three) ==")
+    x, y, z = int_var("x"), int_var("y"), int_var("z")
+    fun = SynthFun("max3", (x, y, z), INT, clia_grammar((x, y, z)))
+    call = fun.apply((x, y, z))
+    spec = and_(
+        ge(call, x),
+        ge(call, y),
+        ge(call, z),
+        or_(eq(call, x), eq(call, y), eq(call, z)),
+    )
+    problem = SygusProblem(fun, spec, (x, y, z), track="CLIA", name="max3")
+    outcome = solve_sygus(problem, timeout=60)
+    assert outcome.solution is not None
+    print("solution:", outcome.solution.define_fun())
+    # This one is solved purely by the deductive rules of Section 6 —
+    # compare Figure 9's rewriting sequence.
+    print("solved by deduction:", outcome.stats.deduction_solved)
+    # Double-check the synthesized body against the specification.
+    ok, _ = problem.verify(outcome.solution.body)
+    print("verified:", ok)
+
+
+if __name__ == "__main__":
+    from_sygus_text()
+    programmatically()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""A miniature Section 7: run the whole solver portfolio on a few
+benchmarks and print a Figure-10-style table.
+
+The portfolio: the cooperative synthesizer (DryadSynth), the three
+comparator reimplementations (CEGQI/CVC4-style, EUSolver-style, LoopInvGen-
+style), and the two ablations (plain height enumeration, plain deduction).
+
+Run:  python examples/solver_comparison.py
+"""
+
+from repro.bench.report import fig10_solved_by_track, render_solved_by_track
+from repro.bench.runner import run_suite
+from repro.bench.suite import find_benchmark
+
+BENCHMARKS = [
+    "max2",
+    "max3",
+    "abs",
+    "linear-comb",
+    "count-up-8",
+    "count-down-8",
+    "qm-relu",
+    "double-2",
+]
+
+SOLVERS = (
+    "dryadsynth",
+    "cegqi",
+    "eusolver",
+    "loopinvgen",
+    "height-enum",
+    "deduction",
+)
+
+
+def main() -> None:
+    benchmarks = [find_benchmark(name) for name in BENCHMARKS]
+    print(f"running {len(SOLVERS)} solvers on {len(benchmarks)} benchmarks "
+          f"(10s timeout each)...\n")
+    results = run_suite(
+        benchmarks, solvers=SOLVERS, timeout=10, use_cache=False
+    )
+    for result in results:
+        status = "solved" if result.solved else "------"
+        size = f"size={result.solution_size}" if result.solved else ""
+        print(
+            f"  {result.solver:12s} {result.benchmark:14s} {status} "
+            f"{result.time_seconds:6.2f}s {size}"
+        )
+    print()
+    print(render_solved_by_track(fig10_solved_by_track(results),
+                                 "Solved benchmarks by track (cf. Figure 10)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Baseline solvers the paper compares against (Section 7).
+
+These reimplement the *algorithmic families* of the original comparators:
+
+- :mod:`repro.baselines.eusolver` — bottom-up size enumeration with
+  observational equivalence and decision-tree unification (EUSolver).
+- :mod:`repro.baselines.cegqi` — single-invocation deductive synthesis via
+  counterexample-guided term harvesting (CVC4's CEGQI).
+- :mod:`repro.baselines.loopinvgen` — data-driven invariant inference over
+  sampled program states (LoopInvGen).
+"""
+
+from repro.baselines.cegqi import CegqiSolver
+from repro.baselines.eusolver import EnumerativeSolver
+from repro.baselines.loopinvgen import LoopInvGenSolver
+
+__all__ = ["CegqiSolver", "EnumerativeSolver", "LoopInvGenSolver"]

@@ -1,0 +1,99 @@
+"""ASCII rendering of the paper's plot types.
+
+The original figures are line/scatter plots; in a terminal-only pipeline we
+render them as fixed-size character rasters: cactus plots (Figure 12/13) and
+log-log scatter plots (Figures 14/16).  Purely cosmetic on top of
+:mod:`repro.bench.report`'s data, but it makes `pytest benchmarks/ -s`
+output genuinely figure-shaped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_MARKS = "ox+*#@%&"
+
+
+def _log_scale(value: float, lo: float, hi: float, cells: int) -> int:
+    """Map value in [lo, hi] to a cell index on a log axis."""
+    value = max(value, lo)
+    position = (math.log10(value) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo) or 1.0
+    )
+    return min(int(position * (cells - 1)), cells - 1)
+
+
+def cactus_plot(
+    series: Dict[str, List[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Solved-count (x) versus per-benchmark time (y, log scale) per solver.
+
+    ``series`` maps solver name to its ascending list of solve times
+    (the Figure 13 data shape).
+    """
+    all_times = [t for times in series.values() for t in times if t > 0]
+    if not all_times:
+        return f"{title}\n(no solved benchmarks)"
+    lo = max(min(all_times), 1e-3)
+    hi = max(max(all_times), lo * 10)
+    max_count = max(len(times) for times in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (solver, times) in enumerate(sorted(series.items())):
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append(f"{mark}={solver}")
+        for count, t in enumerate(times, start=1):
+            col = min(int((count / max(max_count, 1)) * (width - 1)), width - 1)
+            row = height - 1 - _log_scale(max(t, lo), lo, hi, height)
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"time (log {lo:g}s..{hi:g}s)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" solved count (0..{max_count})    {'  '.join(legend)}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[str, Optional[float], Optional[float]]],
+    x_label: str,
+    y_label: str,
+    width: int = 40,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Log-log scatter of paired solve times (the Figure 14/16 shape).
+
+    Points with one side unsolved are pinned to the far edge of that axis
+    (the paper plots them on the timeout border).
+    """
+    finite = [v for _, a, b in points for v in (a, b) if v is not None and v > 0]
+    if not finite:
+        return f"{title}\n(no data)"
+    lo = max(min(finite), 1e-3)
+    hi = max(max(finite), lo * 10)
+    grid = [[" "] * width for _ in range(height)]
+    # Diagonal reference line.
+    for i in range(min(width, height)):
+        col = int(i * (width - 1) / max(min(width, height) - 1, 1))
+        row = height - 1 - int(i * (height - 1) / max(min(width, height) - 1, 1))
+        if grid[row][col] == " ":
+            grid[row][col] = "."
+    for _, x_value, y_value in points:
+        xv = x_value if x_value is not None else hi
+        yv = y_value if y_value is not None else hi
+        col = _log_scale(max(xv, lo), lo, hi, width)
+        row = height - 1 - _log_scale(max(yv, lo), lo, hi, height)
+        grid[row][col] = "o"
+    lines = [title] if title else []
+    lines.append(f"{y_label} (log, up)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (log, right); points above the diagonal favour x")
+    return "\n".join(lines)

@@ -1,0 +1,350 @@
+"""Aggregate run results into the paper's figures and table.
+
+Each ``fig*``/``table1`` function consumes a list of :class:`RunResult` and
+returns plain data structures (dicts/lists); ``render_*`` helpers turn them
+into the ASCII tables printed by the benchmark harnesses and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.runner import RunResult
+
+TRACKS = ("INV", "CLIA", "General")
+
+#: SyGuS-Comp pseudo-logarithmic time buckets (seconds), from the paper.
+TIME_BUCKETS = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 1800.0)
+
+#: SyGuS-Comp pseudo-logarithmic size buckets, from Table 1's footnote.
+SIZE_BUCKETS = (10, 30, 100, 300, 1000)
+
+
+def bucket_time(seconds: float) -> int:
+    """Index of the pseudo-log bucket a solving time falls into."""
+    for index, upper in enumerate(TIME_BUCKETS):
+        if seconds < upper:
+            return index
+    return len(TIME_BUCKETS)
+
+
+def bucket_size(size: int) -> int:
+    for index, upper in enumerate(SIZE_BUCKETS):
+        if size < upper:
+            return index
+    return len(SIZE_BUCKETS)
+
+
+def _by_solver(results: Iterable[RunResult]) -> Dict[str, List[RunResult]]:
+    grouped: Dict[str, List[RunResult]] = defaultdict(list)
+    for result in results:
+        grouped[result.solver].append(result)
+    return grouped
+
+
+def _solvers(results: Sequence[RunResult]) -> List[str]:
+    seen: List[str] = []
+    for result in results:
+        if result.solver not in seen:
+            seen.append(result.solver)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: solved benchmarks, broken down by track
+# ---------------------------------------------------------------------------
+
+
+def fig10_solved_by_track(results: Sequence[RunResult]) -> Dict[str, Dict[str, int]]:
+    """``{solver: {track: solved count}}``."""
+    table: Dict[str, Dict[str, int]] = {
+        solver: {t: 0 for t in TRACKS} for solver in _solvers(results)
+    }
+    for result in results:
+        if result.solved:
+            table[result.solver][result.track] += 1
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: benchmarks solved the fastest (pseudo-log bucket ties)
+# ---------------------------------------------------------------------------
+
+
+def fig11_fastest_by_track(results: Sequence[RunResult]) -> Dict[str, Dict[str, int]]:
+    """``{solver: {track: fastest-solved count}}``; ties within a time
+    bucket are awarded to every tied solver, per the competition criterion."""
+    by_benchmark: Dict[str, List[RunResult]] = defaultdict(list)
+    for result in results:
+        if result.solved:
+            by_benchmark[result.benchmark].append(result)
+    table: Dict[str, Dict[str, int]] = {
+        solver: {t: 0 for t in TRACKS} for solver in _solvers(results)
+    }
+    for runs in by_benchmark.values():
+        best_bucket = min(bucket_time(r.time_seconds) for r in runs)
+        for run in runs:
+            if bucket_time(run.time_seconds) == best_bucket:
+                table[run.solver][run.track] += 1
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: total solving time versus number solved (cumulative curves)
+# ---------------------------------------------------------------------------
+
+
+def fig12_time_vs_solved(
+    results: Sequence[RunResult], track: Optional[str] = None
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Per solver: points ``(n solved, cumulative seconds)`` sorted by time."""
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for solver, runs in _by_solver(results).items():
+        if track is not None:
+            runs = [r for r in runs if r.track == track]
+        times = sorted(r.time_seconds for r in runs if r.solved)
+        cumulative = 0.0
+        points: List[Tuple[int, float]] = []
+        for index, t in enumerate(times, start=1):
+            cumulative += t
+            points.append((index, round(cumulative, 4)))
+        curves[solver] = points
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: per-benchmark solving time in ascending order
+# ---------------------------------------------------------------------------
+
+
+def fig13_times_ascending(
+    results: Sequence[RunResult], track: Optional[str] = None
+) -> Dict[str, List[float]]:
+    series: Dict[str, List[float]] = {}
+    for solver, runs in _by_solver(results).items():
+        if track is not None:
+            runs = [r for r in runs if r.track == track]
+        series[solver] = sorted(r.time_seconds for r in runs if r.solved)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Table 1: smallest solutions and median solution size
+# ---------------------------------------------------------------------------
+
+
+def table1_solution_sizes(
+    results: Sequence[RunResult],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """``{track: {solver: {smallest: n, median_size: m}}}``.
+
+    Computed over the benchmarks commonly solved by all solvers that solved
+    anything in that track, with pseudo-log size buckets for "smallest" ties
+    (the paper's criterion).
+    """
+    outcome: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for track in TRACKS:
+        track_runs = [r for r in results if r.track == track and r.solved]
+        if not track_runs:
+            continue
+        solvers = sorted({r.solver for r in track_runs})
+        by_bench: Dict[str, Dict[str, RunResult]] = defaultdict(dict)
+        for run in track_runs:
+            by_bench[run.benchmark][run.solver] = run
+        common = [
+            bench
+            for bench, runs in by_bench.items()
+            if all(s in runs and runs[s].solution_size is not None for s in solvers)
+        ]
+        track_table: Dict[str, Dict[str, float]] = {}
+        for solver in solvers:
+            sizes = [by_bench[b][solver].solution_size for b in common]
+            smallest = 0
+            for bench in common:
+                best = min(
+                    bucket_size(by_bench[bench][s].solution_size) for s in solvers
+                )
+                if bucket_size(by_bench[bench][solver].solution_size) == best:
+                    smallest += 1
+            track_table[solver] = {
+                "smallest": smallest,
+                "median_size": statistics.median(sizes) if sizes else 0.0,
+                "common": len(common),
+            }
+        outcome[track] = track_table
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: cooperative versus plain height-based enumeration
+# ---------------------------------------------------------------------------
+
+
+def fig14_coop_vs_enum(
+    results: Sequence[RunResult],
+    coop: str = "dryadsynth",
+    enum: str = "height-enum",
+) -> List[Tuple[str, Optional[float], Optional[float]]]:
+    """Scatter points ``(benchmark, coop time or None, enum time or None)``."""
+    coop_runs = {r.benchmark: r for r in results if r.solver == coop}
+    enum_runs = {r.benchmark: r for r in results if r.solver == enum}
+    points = []
+    for bench in sorted(set(coop_runs) | set(enum_runs)):
+        c = coop_runs.get(bench)
+        e = enum_runs.get(bench)
+        points.append(
+            (
+                bench,
+                c.time_seconds if c is not None and c.solved else None,
+                e.time_seconds if e is not None and e.solved else None,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: deduction-only versus cooperative (per track)
+# ---------------------------------------------------------------------------
+
+
+def fig15_deduction_ablation(
+    results: Sequence[RunResult],
+    coop: str = "dryadsynth",
+    deduction: str = "deduction",
+) -> Dict[str, Dict[str, int]]:
+    """``{track: {"deduct": n, "coop_extra": m}}``."""
+    table: Dict[str, Dict[str, int]] = {}
+    for track in TRACKS:
+        ded_solved = {
+            r.benchmark
+            for r in results
+            if r.solver == deduction and r.track == track and r.solved
+        }
+        coop_solved = {
+            r.benchmark
+            for r in results
+            if r.solver == coop and r.track == track and r.solved
+        }
+        table[track] = {
+            "deduct": len(ded_solved & coop_solved),
+            "coop_extra": len(coop_solved - ded_solved),
+        }
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: vanilla versus EUSolver-backed DryadSynth
+# ---------------------------------------------------------------------------
+
+
+def fig16_euback_comparison(
+    results: Sequence[RunResult],
+    vanilla: str = "dryadsynth",
+    euback: str = "dryadsynth-euback",
+    deduction: str = "deduction",
+) -> List[Tuple[str, Optional[float], Optional[float]]]:
+    """Times on benchmarks not solved by pure deduction (paper's filter)."""
+    ded_solved = {r.benchmark for r in results if r.solver == deduction and r.solved}
+    vanilla_runs = {r.benchmark: r for r in results if r.solver == vanilla}
+    euback_runs = {r.benchmark: r for r in results if r.solver == euback}
+    points = []
+    for bench in sorted(set(vanilla_runs) & set(euback_runs)):
+        if bench in ded_solved:
+            continue
+        v, e = vanilla_runs[bench], euback_runs[bench]
+        points.append(
+            (
+                bench,
+                v.time_seconds if v.solved else None,
+                e.time_seconds if e.solved else None,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Unique solves (the paper's "58 benchmarks solved uniquely")
+# ---------------------------------------------------------------------------
+
+
+def unique_solves(results: Sequence[RunResult]) -> Dict[str, List[str]]:
+    solved_by: Dict[str, set] = defaultdict(set)
+    for result in results:
+        if result.solved:
+            solved_by[result.benchmark].add(result.solver)
+    uniques: Dict[str, List[str]] = defaultdict(list)
+    for bench, solvers in solved_by.items():
+        if len(solvers) == 1:
+            uniques[next(iter(solvers))].append(bench)
+    return {solver: sorted(benches) for solver, benches in uniques.items()}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_solved_by_track(
+    table: Dict[str, Dict[str, int]], title: str
+) -> str:
+    headers = ["solver"] + list(TRACKS) + ["total"]
+    rows = []
+    for solver in sorted(table, key=lambda s: -sum(table[s].values())):
+        counts = table[solver]
+        rows.append(
+            [solver]
+            + [counts.get(t, 0) for t in TRACKS]
+            + [sum(counts.values())]
+        )
+    return render_table(headers, rows, title)
+
+
+def render_scatter(
+    points: Sequence[Tuple[str, Optional[float], Optional[float]]],
+    left: str,
+    right: str,
+    title: str,
+) -> str:
+    headers = ["benchmark", left, right, "winner"]
+    rows = []
+    for bench, lt, rt in points:
+        if lt is None and rt is None:
+            winner = "neither"
+        elif lt is None:
+            winner = right
+        elif rt is None:
+            winner = left
+        else:
+            winner = left if lt <= rt else right
+        rows.append(
+            [
+                bench,
+                f"{lt:.2f}" if lt is not None else "-",
+                f"{rt:.2f}" if rt is not None else "-",
+                winner,
+            ]
+        )
+    return render_table(headers, rows, title)

@@ -1,0 +1,109 @@
+"""Command-line interface: ``dryadsynth [options] file.sl``.
+
+Reads a SyGuS-IF problem, runs a solver from the portfolio (the cooperative
+synthesizer by default) and prints the solution as a ``define-fun``, the way
+the original DryadSynth binary behaves in the SyGuS competition harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.bench.runner import SOLVER_NAMES, make_solver
+from repro.sygus.parser import parse_sygus_file
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth",
+        description=(
+            "Cooperative SyGuS solver for the CLIA theory "
+            "(reproduction of Huang et al., PLDI 2020)"
+        ),
+    )
+    parser.add_argument("file", help="SyGuS-IF (.sl) problem file")
+    parser.add_argument(
+        "--solver",
+        choices=SOLVER_NAMES,
+        default="dryadsynth",
+        help="which solver of the portfolio to run",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solving statistics to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the cooperative loop's event trace to stderr "
+        "(dryadsynth solvers only)",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        problem = parse_sygus_file(args.file)
+    except (OSError, Exception) as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.sygus.multi import MultiSygusProblem
+
+    if isinstance(problem, MultiSygusProblem):
+        return _run_multi(problem, args)
+    solver = make_solver(args.solver, args.timeout)
+    trace = None
+    if args.trace and hasattr(solver, "trace"):
+        from repro.synth.trace import SynthesisTrace
+
+        trace = SynthesisTrace()
+        solver.trace = trace
+    start = time.monotonic()
+    outcome = solver.synthesize(problem)
+    elapsed = time.monotonic() - start
+    if trace is not None:
+        print(trace.render(), file=sys.stderr)
+    if args.stats:
+        print(
+            f"; solver={args.solver} time={elapsed:.3f}s "
+            f"timed_out={outcome.timed_out} stats={outcome.stats}",
+            file=sys.stderr,
+        )
+    if outcome.solution is None:
+        print("fail" if not outcome.timed_out else "timeout")
+        return 1
+    print(outcome.solution.define_fun())
+    return 0
+
+
+def _run_multi(problem, args) -> int:
+    """Solve a multi-function problem (always via the multi synthesizer)."""
+    from repro.synth.config import SynthConfig
+    from repro.synth.multi import MultiFunctionSynthesizer
+
+    synthesizer = MultiFunctionSynthesizer(SynthConfig(timeout=args.timeout))
+    solution, stats = synthesizer.synthesize(problem)
+    if args.stats:
+        print(f"; stats={stats}", file=sys.stderr)
+    if solution is None:
+        print("fail")
+        return 1
+    for rendered in solution.define_funs():
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Convenience constructors for CLIA terms.
+
+These perform light normalisation (flattening nested ``and``/``or``/``+``,
+collapsing trivial cases) so downstream passes see a predictable shape, but
+they never change the logical meaning of what the caller wrote.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.lang.ast import Kind, Term
+from repro.lang.sorts import BOOL, INT, Sort
+
+IntoTerm = Union[Term, int, bool]
+
+
+def _coerce(value: IntoTerm) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return bool_const(value)
+    if isinstance(value, int):
+        return int_const(value)
+    raise TypeError(f"cannot coerce {value!r} to a term")
+
+
+def int_const(value: int) -> Term:
+    """An integer literal."""
+    return Term.make(Kind.CONST, (), int(value))
+
+
+def bool_const(value: bool) -> Term:
+    """A boolean literal."""
+    return Term.make(Kind.CONST, (), bool(value))
+
+
+#: The literal ``true``.
+def true() -> Term:
+    return bool_const(True)
+
+
+#: The literal ``false``.
+def false() -> Term:
+    return bool_const(False)
+
+
+def var(name: str, sort: Sort) -> Term:
+    """A variable of the given sort."""
+    return Term.make(Kind.VAR, (), name, sort)
+
+
+def int_var(name: str) -> Term:
+    return var(name, INT)
+
+
+def bool_var(name: str) -> Term:
+    return var(name, BOOL)
+
+
+def add(*terms: IntoTerm) -> Term:
+    """N-ary addition; flattens nested additions."""
+    flat: list[Term] = []
+    for raw in terms:
+        term = _coerce(raw)
+        if term.kind is Kind.ADD:
+            flat.extend(term.args)
+        else:
+            flat.append(term)
+    if not flat:
+        return int_const(0)
+    if len(flat) == 1:
+        return flat[0]
+    return Term.make(Kind.ADD, tuple(flat))
+
+
+def sub(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.SUB, (_coerce(left), _coerce(right)))
+
+
+def neg(term: IntoTerm) -> Term:
+    inner = _coerce(term)
+    if inner.kind is Kind.CONST:
+        return int_const(-inner.payload)  # type: ignore[operator]
+    return Term.make(Kind.NEG, (inner,))
+
+
+def mul(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.MUL, (_coerce(left), _coerce(right)))
+
+
+def ite(cond: IntoTerm, then: IntoTerm, els: IntoTerm) -> Term:
+    return Term.make(Kind.ITE, (_coerce(cond), _coerce(then), _coerce(els)))
+
+
+def ge(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.GE, (_coerce(left), _coerce(right)))
+
+
+def gt(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.GT, (_coerce(left), _coerce(right)))
+
+
+def le(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.LE, (_coerce(left), _coerce(right)))
+
+
+def lt(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.LT, (_coerce(left), _coerce(right)))
+
+
+def eq(left: IntoTerm, right: IntoTerm) -> Term:
+    return Term.make(Kind.EQ, (_coerce(left), _coerce(right)))
+
+
+def distinct(left: IntoTerm, right: IntoTerm) -> Term:
+    return not_(eq(left, right))
+
+
+def not_(term: IntoTerm) -> Term:
+    inner = _coerce(term)
+    if inner.kind is Kind.NOT:
+        return inner.args[0]
+    return Term.make(Kind.NOT, (inner,))
+
+
+def and_(*terms: IntoTerm) -> Term:
+    """N-ary conjunction; flattens and drops ``true`` conjuncts."""
+    flat: list[Term] = []
+    for raw in terms:
+        term = _coerce(raw)
+        if term.kind is Kind.AND:
+            flat.extend(term.args)
+        elif term.kind is Kind.CONST and term.value is True:
+            continue
+        else:
+            flat.append(term)
+    if not flat:
+        return true()
+    if len(flat) == 1:
+        return flat[0]
+    return Term.make(Kind.AND, tuple(flat))
+
+
+def or_(*terms: IntoTerm) -> Term:
+    """N-ary disjunction; flattens and drops ``false`` disjuncts."""
+    flat: list[Term] = []
+    for raw in terms:
+        term = _coerce(raw)
+        if term.kind is Kind.OR:
+            flat.extend(term.args)
+        elif term.kind is Kind.CONST and term.value is False:
+            continue
+        else:
+            flat.append(term)
+    if not flat:
+        return false()
+    if len(flat) == 1:
+        return flat[0]
+    return Term.make(Kind.OR, tuple(flat))
+
+
+def implies(ante: IntoTerm, cons: IntoTerm) -> Term:
+    return Term.make(Kind.IMPLIES, (_coerce(ante), _coerce(cons)))
+
+
+def iff(left: IntoTerm, right: IntoTerm) -> Term:
+    """Boolean equivalence, encoded as an equality of Bool terms."""
+    return Term.make(Kind.EQ, (_coerce(left), _coerce(right)))
+
+
+def apply_fn(name: str, args: Iterable[IntoTerm], sort: Sort) -> Term:
+    """Application of a named (interpreted or uninterpreted) function."""
+    return Term.make(Kind.APP, tuple(_coerce(a) for a in args), name, sort)

@@ -1,0 +1,106 @@
+"""Concrete evaluation of CLIA terms.
+
+Used by CEGIS to screen candidates against counterexamples, by the
+enumerative baseline for observational equivalence, and throughout the test
+suite as the ground-truth semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.lang.ast import Kind, Term
+
+Value = Union[int, bool]
+
+#: Definitions of interpreted functions: name -> (parameter terms, body).
+FunctionDefs = Mapping[str, Tuple[Sequence[Term], Term]]
+
+
+class EvaluationError(Exception):
+    """Raised when a term cannot be evaluated under the given environment."""
+
+
+def evaluate(
+    term: Term,
+    env: Mapping[str, Value],
+    funcs: Optional[FunctionDefs] = None,
+) -> Value:
+    """Evaluate ``term`` with variable values from ``env``.
+
+    Args:
+        term: the term to evaluate.
+        env: maps variable names to values.
+        funcs: optional definitions for applied function symbols.
+
+    Raises:
+        EvaluationError: on unbound variables or undefined functions.
+    """
+    cache: Dict[Term, Value] = {}
+    return _eval(term, env, funcs or {}, cache)
+
+
+def _eval(
+    term: Term,
+    env: Mapping[str, Value],
+    funcs: FunctionDefs,
+    cache: Dict[Term, Value],
+) -> Value:
+    hit = cache.get(term)
+    if hit is not None and term in cache:
+        return hit
+    kind = term.kind
+    if kind is Kind.CONST:
+        result: Value = term.payload  # type: ignore[assignment]
+    elif kind is Kind.VAR:
+        try:
+            result = env[term.payload]  # type: ignore[index]
+        except KeyError as exc:
+            raise EvaluationError(f"unbound variable {term.payload}") from exc
+    elif kind is Kind.ITE:
+        cond = _eval(term.args[0], env, funcs, cache)
+        branch = term.args[1] if cond else term.args[2]
+        result = _eval(branch, env, funcs, cache)
+    elif kind is Kind.AND:
+        result = all(_eval(a, env, funcs, cache) for a in term.args)
+    elif kind is Kind.OR:
+        result = any(_eval(a, env, funcs, cache) for a in term.args)
+    elif kind is Kind.NOT:
+        result = not _eval(term.args[0], env, funcs, cache)
+    elif kind is Kind.IMPLIES:
+        left = _eval(term.args[0], env, funcs, cache)
+        result = (not left) or bool(_eval(term.args[1], env, funcs, cache))
+    elif kind is Kind.APP:
+        name = term.payload
+        if name not in funcs:
+            raise EvaluationError(f"undefined function {name}")
+        params, body = funcs[name]
+        actuals = [_eval(a, env, funcs, cache) for a in term.args]
+        if len(actuals) != len(params):
+            raise EvaluationError(f"arity mismatch calling {name}")
+        inner_env = {p.payload: v for p, v in zip(params, actuals)}
+        result = evaluate(body, inner_env, funcs)
+    else:
+        values = [_eval(a, env, funcs, cache) for a in term.args]
+        if kind is Kind.ADD:
+            result = sum(values)  # type: ignore[arg-type]
+        elif kind is Kind.SUB:
+            result = values[0] - values[1]  # type: ignore[operator]
+        elif kind is Kind.NEG:
+            result = -values[0]  # type: ignore[operator]
+        elif kind is Kind.MUL:
+            result = values[0] * values[1]  # type: ignore[operator]
+        elif kind is Kind.GE:
+            result = values[0] >= values[1]  # type: ignore[operator]
+        elif kind is Kind.GT:
+            result = values[0] > values[1]  # type: ignore[operator]
+        elif kind is Kind.LE:
+            result = values[0] <= values[1]  # type: ignore[operator]
+        elif kind is Kind.LT:
+            result = values[0] < values[1]  # type: ignore[operator]
+        elif kind is Kind.EQ:
+            result = values[0] == values[1]
+        else:  # pragma: no cover - the Kind enum is closed
+            raise EvaluationError(f"cannot evaluate kind {kind}")
+    cache[term] = result
+    return result

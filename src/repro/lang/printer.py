@@ -1,0 +1,63 @@
+"""Printing terms as SMT-LIB / SyGuS-IF style s-expressions."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast import Kind, Term
+
+
+def to_sexpr(term: Term) -> str:
+    """Render ``term`` in SMT-LIB concrete syntax.
+
+    The output round-trips through :func:`repro.sygus.parser.parse_term`.
+    """
+    parts: List[str] = []
+    _render(term, parts)
+    return "".join(parts)
+
+
+def _render(term: Term, out: List[str]) -> None:
+    kind = term.kind
+    if kind is Kind.CONST:
+        value = term.payload
+        if isinstance(value, bool):
+            out.append("true" if value else "false")
+        elif value < 0:  # type: ignore[operator]
+            out.append(f"(- {-value})")
+        else:
+            out.append(str(value))
+        return
+    if kind is Kind.VAR:
+        out.append(term.payload)  # type: ignore[arg-type]
+        return
+    if kind is Kind.APP:
+        if not term.args:
+            out.append(term.payload)  # type: ignore[arg-type]
+            return
+        out.append(f"({term.payload}")
+        for arg in term.args:
+            out.append(" ")
+            _render(arg, out)
+        out.append(")")
+        return
+    if kind is Kind.NEG:
+        out.append("(- ")
+        _render(term.args[0], out)
+        out.append(")")
+        return
+    op = kind.value
+    out.append(f"({op}")
+    for arg in term.args:
+        out.append(" ")
+        _render(arg, out)
+    out.append(")")
+
+
+def define_fun_sexpr(name: str, params, return_sort, body: Term) -> str:
+    """Render a SyGuS ``define-fun`` for a synthesized solution."""
+    params_str = " ".join(f"({p.payload} {p.sort.name})" for p in params)
+    return (
+        f"(define-fun {name} ({params_str}) {return_sort.name} "
+        f"{to_sexpr(body)})"
+    )

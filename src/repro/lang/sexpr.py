@@ -1,0 +1,86 @@
+"""A small s-expression reader shared by the SMT-LIB and SyGuS-IF parsers.
+
+S-expressions are parsed into nested Python lists of strings; numeric
+literals stay as strings (the term parser decides how to interpret them).
+Comments start with ``;`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+SExpr = Union[str, List["SExpr"]]
+
+
+class SExprError(Exception):
+    """Raised on malformed s-expression input."""
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into parenthesis and atom tokens, dropping comments."""
+    tokens: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise SExprError("unterminated string literal")
+            tokens.append(text[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in " \t\r\n();":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _parse(tokens: List[str], pos: int) -> Tuple[SExpr, int]:
+    if pos >= len(tokens):
+        raise SExprError("unexpected end of input")
+    token = tokens[pos]
+    if token == "(":
+        items: List[SExpr] = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _parse(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise SExprError("unbalanced parentheses")
+        return items, pos + 1
+    if token == ")":
+        raise SExprError("unexpected ')'")
+    return token, pos + 1
+
+
+def parse_sexpr(text: str) -> SExpr:
+    """Parse a single s-expression."""
+    tokens = tokenize(text)
+    expr, pos = _parse(tokens, 0)
+    if pos != len(tokens):
+        raise SExprError(f"trailing tokens: {tokens[pos:]}")
+    return expr
+
+
+def parse_all_sexprs(text: str) -> List[SExpr]:
+    """Parse a whole file worth of s-expressions."""
+    tokens = tokenize(text)
+    exprs: List[SExpr] = []
+    pos = 0
+    while pos < len(tokens):
+        expr, pos = _parse(tokens, pos)
+        exprs.append(expr)
+    return exprs

@@ -1,0 +1,37 @@
+"""Sorts (types) of the CLIA term language.
+
+Only two sorts exist in CLIA: mathematical integers and booleans.  They are
+modelled as interned singletons so identity comparison is safe.
+"""
+
+from __future__ import annotations
+
+
+class Sort:
+    """A sort (type) of the term language."""
+
+    __slots__ = ("name",)
+
+    _interned: dict[str, "Sort"] = {}
+
+    def __new__(cls, name: str) -> "Sort":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        sort = super().__new__(cls)
+        sort.name = name
+        cls._interned[name] = sort
+        return sort
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        return (Sort, (self.name,))
+
+
+#: The sort of mathematical integers.
+INT = Sort("Int")
+
+#: The sort of booleans.
+BOOL = Sort("Bool")

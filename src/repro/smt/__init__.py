@@ -1,0 +1,32 @@
+"""A from-scratch SMT solver for quantifier-free linear integer arithmetic.
+
+This is the substrate that replaces Z3 in the original DryadSynth: a CDCL SAT
+core (:mod:`repro.smt.sat`), Tseitin CNF conversion with canonical linear
+atoms (:mod:`repro.smt.tseitin`, :mod:`repro.smt.linear`), an exact rational
+simplex (:mod:`repro.smt.simplex`) and a branch-and-bound integer layer
+(:mod:`repro.smt.branch_bound`), glued together by the lazy DPLL(T) driver in
+:mod:`repro.smt.solver`.
+
+Every query DryadSynth issues — candidate verification and fixed-height
+inductive synthesis — is QF_LIA, so this substrate covers the whole paper.
+"""
+
+from repro.smt.solver import (
+    Result,
+    SmtSolver,
+    SolverBudgetExceeded,
+    Status,
+    check_sat,
+    get_counterexample,
+    is_valid,
+)
+
+__all__ = [
+    "Result",
+    "SmtSolver",
+    "SolverBudgetExceeded",
+    "Status",
+    "check_sat",
+    "get_counterexample",
+    "is_valid",
+]

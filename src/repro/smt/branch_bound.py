@@ -1,0 +1,263 @@
+"""Integer feasibility for conjunctions of linear constraints.
+
+Layered on the rational simplex: solve the LP relaxation, then branch on a
+variable with a fractional value (``x <= floor(v)`` versus ``x >= ceil(v)``).
+Completeness over the integers is guaranteed by a small-model bounding box
+(Papadimitriou 1981: a feasible integer system has a solution within
+``n * (m * a)^(2m+1)``), which turns branch-and-bound into a finite search.
+
+The result is either an integer model or an *unsat core*: a subset of the
+input constraint tags whose conjunction is LIA-infeasible.  Cores drive the
+DPLL(T) lemma generation in :mod:`repro.smt.solver`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.smt.linear import LinExpr
+from repro.smt.simplex import Bound, Conflict, Simplex
+
+#: Tag marking bounds introduced by branching; removed from cores level-wise.
+class _BranchTag:
+    __slots__ = ()
+
+
+class BudgetExceeded(Exception):
+    """Raised when branch-and-bound exceeds its node budget."""
+
+
+LiaResult = Tuple[bool, Union[Dict[str, int], List[object]]]
+
+
+def check_lia(
+    constraints: Sequence[Tuple[LinExpr, object]],
+    max_nodes: int = 20000,
+    deadline: Optional[float] = None,
+) -> LiaResult:
+    """Decide integer feasibility of ``{expr >= 0 for (expr, tag) in constraints}``.
+
+    Returns ``(True, model)`` with an integer model, or ``(False, core)``
+    where ``core`` is a list of tags of a jointly infeasible subset.
+
+    Raises:
+        BudgetExceeded: when the node budget runs out (should be rare; the
+            budget exists to bound pathological branching).
+    """
+    var_names = sorted({v for expr, _ in constraints for v, _ in expr.coeffs})
+    trivially_false = [tag for expr, tag in constraints if expr.is_constant and expr.const < 0]
+    if trivially_false:
+        return False, [trivially_false[0]]
+    real_constraints = [(expr, tag) for expr, tag in constraints if not expr.is_constant]
+    if not real_constraints:
+        return True, {name: 0 for name in var_names}
+    box = _small_model_bound(real_constraints, len(var_names))
+    search = _Search(var_names, real_constraints, box, max_nodes, deadline)
+    outcome = search.solve([])
+    if isinstance(outcome, dict):
+        return True, outcome
+    core: List[object] = []
+    seen: Set[int] = set()
+    for tag in outcome:
+        if tag is None or isinstance(tag, _BranchTag):
+            continue
+        if id(tag) not in seen:
+            seen.add(id(tag))
+            core.append(tag)
+    return False, core
+
+
+def _small_model_bound(
+    constraints: Sequence[Tuple[LinExpr, object]], num_vars: int
+) -> int:
+    biggest = 1
+    for expr, _ in constraints:
+        for _, coeff in expr.coeffs:
+            biggest = max(biggest, abs(coeff))
+        biggest = max(biggest, abs(expr.const))
+    m = len(constraints)
+    n = max(num_vars, 1)
+    # Papadimitriou's bound; cap the exponent so the integer stays tractable
+    # while remaining astronomically above anything synthesis produces.
+    exponent = min(2 * m + 1, 40)
+    return n * (m * biggest + 1) ** exponent
+
+
+def _new_frame(bounds, branch_request):
+    name, floor_v = branch_request
+    return {
+        "bounds": bounds,
+        "name": name,
+        "floor": floor_v,
+        "low_tag": _BranchTag(),
+        "high_tag": _BranchTag(),
+        "phase": 0,
+        "low_core": None,
+    }
+
+
+class _Search:
+    def __init__(
+        self,
+        var_names: Sequence[str],
+        constraints: Sequence[Tuple[LinExpr, object]],
+        box: int,
+        max_nodes: int,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._var_names = list(var_names)
+        self._constraints = list(constraints)
+        self._box = box
+        self._nodes_left = max_nodes
+        self._deadline = deadline
+
+    def solve(self, root_bounds: List[Tuple[str, bool, int, object]]):
+        """Returns an int model dict, or a list of tags (conflict core).
+
+        Iterative depth-first branch-and-bound.  Conflict cores of sibling
+        branches are merged with their branch tags stripped, which is sound:
+        if ``A ∪ {x <= f}`` and ``B ∪ {x >= f+1}`` are both infeasible then
+        ``A ∪ B`` forces ``f < x < f+1``, which no integer satisfies.
+        """
+        # Each stack frame: (bounds, state) where state is None (not yet
+        # solved), or ("split", name, floor_v, low_result) awaiting children.
+        result = self._solve_leaf(root_bounds)
+        if not isinstance(result, tuple):
+            return result
+        # Explicit DFS over pending branch decisions.
+        stack: List[dict] = [
+            {
+                "bounds": root_bounds,
+                "name": result[0],
+                "floor": result[1],
+                "low_tag": _BranchTag(),
+                "high_tag": _BranchTag(),
+                "phase": 0,
+                "low_core": None,
+            }
+        ]
+        child_result = None
+        while stack:
+            frame = stack[-1]
+            if frame["phase"] == 0:
+                frame["phase"] = 1
+                branch = frame["bounds"] + [
+                    (frame["name"], False, frame["floor"], frame["low_tag"])
+                ]
+                outcome = self._solve_leaf(branch)
+                if isinstance(outcome, tuple):
+                    stack.append(_new_frame(branch, outcome))
+                    continue
+                if isinstance(outcome, dict):
+                    return outcome
+                frame["low_core"] = outcome
+                continue
+            if frame["phase"] == 1:
+                if child_result is not None:
+                    if isinstance(child_result, dict):
+                        return child_result
+                    frame["low_core"] = child_result
+                    child_result = None
+                frame["phase"] = 2
+                branch = frame["bounds"] + [
+                    (frame["name"], True, frame["floor"] + 1, frame["high_tag"])
+                ]
+                outcome = self._solve_leaf(branch)
+                if isinstance(outcome, tuple):
+                    stack.append(_new_frame(branch, outcome))
+                    continue
+                if isinstance(outcome, dict):
+                    return outcome
+                frame["high_core"] = outcome
+                # fall through to combine
+            if frame["phase"] == 2 and child_result is not None:
+                if isinstance(child_result, dict):
+                    return child_result
+                frame["high_core"] = child_result
+                child_result = None
+            if frame["phase"] == 2 and "high_core" in frame:
+                low_core = frame["low_core"] or []
+                high_core = frame["high_core"] or []
+                combined = [t for t in low_core if t is not frame["low_tag"]] + [
+                    t for t in high_core if t is not frame["high_tag"]
+                ]
+                stack.pop()
+                child_result = combined
+        return child_result if child_result is not None else []
+
+    def _solve_leaf(self, branch_bounds: List[Tuple[str, bool, int, object]]):
+        """Solve the LP relaxation under the given extra bounds.
+
+        Returns an int model (dict), a conflict core (list), or a branching
+        request ``(var_name, floor_value)`` (tuple) when fractional.
+        """
+        if self._nodes_left <= 0:
+            raise BudgetExceeded("branch-and-bound node budget exhausted")
+        if self._deadline is not None and self._nodes_left % 32 == 0:
+            import time
+
+            if time.monotonic() > self._deadline:
+                raise BudgetExceeded("branch-and-bound deadline exceeded")
+        self._nodes_left -= 1
+        simplex = Simplex()
+        index: Dict[str, int] = {}
+        for name in self._var_names:
+            index[name] = simplex.new_var()
+        slack_cache: Dict[Tuple[Tuple[str, int], ...], int] = {}
+        try:
+            for name in self._var_names:
+                var = index[name]
+                simplex.assert_bound(Bound(var, True, Fraction(-self._box), None))
+                simplex.assert_bound(Bound(var, False, Fraction(self._box), None))
+            for expr, tag in self._constraints:
+                self._assert_constraint(simplex, index, slack_cache, expr, tag)
+            for name, is_lower, value, tag in branch_bounds:
+                simplex.assert_bound(Bound(index[name], is_lower, Fraction(value), tag))
+            simplex.check()
+        except Conflict as conflict:
+            return [bound.tag for bound in conflict.bounds]
+        # Rational model found; branch on the most fractional variable.
+        best_name = None
+        best_score = Fraction(0)
+        best_value = Fraction(0)
+        for name in self._var_names:
+            value = simplex.value(index[name])
+            if value.denominator != 1:
+                fractional_part = value - math.floor(value)
+                score = min(fractional_part, 1 - fractional_part)
+                if best_name is None or score > best_score:
+                    best_name, best_score, best_value = name, score, value
+        if best_name is None:
+            return {
+                name: int(simplex.value(index[name])) for name in self._var_names
+            }
+        return (best_name, math.floor(best_value))
+
+    def _assert_constraint(
+        self,
+        simplex: Simplex,
+        index: Dict[str, int],
+        slack_cache: Dict[Tuple[Tuple[str, int], ...], int],
+        expr: LinExpr,
+        tag: object,
+    ) -> None:
+        # expr >= 0  <=>  sum(c_i x_i) >= -const.
+        threshold = Fraction(-expr.const)
+        if len(expr.coeffs) == 1:
+            name, coeff = expr.coeffs[0]
+            var = index[name]
+            limit = threshold / coeff
+            if coeff > 0:
+                simplex.assert_bound(Bound(var, True, Fraction(math.ceil(limit)), tag))
+            else:
+                simplex.assert_bound(Bound(var, False, Fraction(math.floor(limit)), tag))
+            return
+        key = expr.coeffs
+        slack = slack_cache.get(key)
+        if slack is None:
+            combo = {index[name]: Fraction(coeff) for name, coeff in expr.coeffs}
+            slack = simplex.new_slack(combo)
+            slack_cache[key] = slack
+        simplex.assert_bound(Bound(slack, True, threshold, tag))

@@ -1,0 +1,100 @@
+"""Objective minimisation over QF_LIA (a small OMT layer).
+
+``minimize_objective`` finds a model of a formula minimising an integer
+objective term, by branch-and-bound at the formula level: find any model,
+then repeatedly ask the solver for a strictly better one, narrowing with
+binary search between the best known value and a lower bound discovered by
+exponential probing.
+
+Used by the synthesis layer to bias fixed-height solutions toward small
+coefficients, and generally useful as a substrate utility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.lang.ast import Term
+from repro.lang.builders import and_, le
+from repro.lang.evaluator import Value, evaluate
+from repro.smt.solver import SmtSolver, SolverBudgetExceeded, Status
+
+
+class Unsatisfiable(Exception):
+    """The formula has no model at all."""
+
+
+def _check(
+    formula: Term,
+    deadline: Optional[float],
+    lia_node_budget: int,
+):
+    solver = SmtSolver(lia_node_budget=lia_node_budget, deadline=deadline)
+    return solver.check(formula)
+
+
+def minimize_objective(
+    formula: Term,
+    objective: Term,
+    deadline: Optional[float] = None,
+    max_checks: int = 32,
+    lia_node_budget: int = 20000,
+) -> Tuple[int, Dict[str, Value]]:
+    """A model of ``formula`` minimising ``objective``.
+
+    Returns ``(optimal value, model)``.  When the check budget runs out the
+    best model found so far is returned (sound, possibly suboptimal).
+
+    Raises:
+        Unsatisfiable: when the formula has no model.
+        SolverBudgetExceeded: when the underlying solver times out before
+            any model is found.
+    """
+    result = _check(formula, deadline, lia_node_budget)
+    if result.status is not Status.SAT:
+        raise Unsatisfiable("formula has no model")
+    assert result.model is not None
+    best_model = result.model
+    best_value = int(evaluate(objective, best_model))
+    checks_left = max_checks
+
+    # Exponential probe for a lower bound.
+    lower: Optional[int] = None
+    step = 1
+    while checks_left > 0:
+        probe = best_value - step
+        checks_left -= 1
+        try:
+            result = _check(
+                and_(formula, le(objective, probe)), deadline, lia_node_budget
+            )
+        except SolverBudgetExceeded:
+            return best_value, best_model
+        if result.status is Status.SAT:
+            assert result.model is not None
+            best_model = result.model
+            best_value = int(evaluate(objective, best_model))
+            step *= 2
+        else:
+            lower = probe + 1
+            break
+    if lower is None:
+        return best_value, best_model
+
+    # Binary search in [lower, best_value].
+    while lower < best_value and checks_left > 0:
+        mid = (lower + best_value) // 2
+        checks_left -= 1
+        try:
+            result = _check(
+                and_(formula, le(objective, mid)), deadline, lia_node_budget
+            )
+        except SolverBudgetExceeded:
+            break
+        if result.status is Status.SAT:
+            assert result.model is not None
+            best_model = result.model
+            best_value = int(evaluate(objective, best_model))
+        else:
+            lower = mid + 1
+    return best_value, best_model

@@ -1,0 +1,312 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture: two-watched-literal propagation,
+first-UIP conflict analysis with clause learning, VSIDS-style activity
+decision heuristic, phase saving, and Luby-sequence restarts.
+
+Literals use the DIMACS convention: variable ``v`` (1-based) appears
+positively as ``v`` and negatively as ``-v``.  The solver is incremental in
+the sense required by lazy SMT: clauses may be added between ``solve`` calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SatSolver:
+    """An incremental CDCL solver over integer DIMACS literals."""
+
+    class Interrupted(Exception):
+        """Raised when solve() exceeds its deadline (see ``deadline``)."""
+
+    def __init__(self) -> None:
+        #: Optional wall-clock deadline (time.monotonic seconds); checked
+        #: every few hundred conflicts inside solve().
+        self.deadline = None
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: List[int] = [0]  # indexed by var; 0 unset, 1 true, -1 false
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._order_heap: List[tuple] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._ok = True
+        self._conflicts = 0
+
+    # -- Problem construction -------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) index."""
+        self._num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        return self._num_vars
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        needed = max((abs(lit) for lit in lits), default=0)
+        while self._num_vars < needed:
+            self.new_var()
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat.
+
+        Must be called with the solver at decision level 0 (which is the case
+        between ``solve`` invocations, since ``solve`` backtracks fully).
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        self._ensure_vars(lits)
+        seen: Dict[int, None] = {}
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            seen[lit] = None
+        # Drop literals already false at level 0; a clause true at level 0
+        # is kept as-is (harmless).
+        clause = [
+            lit
+            for lit in seen
+            if not (self._value(lit) == -1 and self._level[abs(lit)] == 0)
+        ]
+        if any(self._value(lit) == 1 and self._level[abs(lit)] == 0 for lit in clause):
+            return True
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            self._uncheckedEnqueue(clause[0], None)
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        return True
+
+    def _watch(self, lit: int, clause_index: int) -> None:
+        self._watches.setdefault(-lit, []).append(clause_index)
+
+    # -- Assignment helpers -----------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _uncheckedEnqueue(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            watching = self._watches.get(lit)
+            if not watching:
+                continue
+            kept: List[int] = []
+            i = 0
+            conflict: Optional[int] = None
+            while i < len(watching):
+                ci = watching[i]
+                i += 1
+                clause = self._clauses[ci]
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if clause[1] != -lit:
+                    # Stale watch entry (watch was moved); drop it.
+                    continue
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(ci)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(ci)
+                if self._value(first) == -1:
+                    conflict = ci
+                    kept.extend(watching[i:])
+                    break
+                self._uncheckedEnqueue(first, ci)
+            self._watches[lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- Conflict analysis --------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        heapq.heappush(self._order_heap, (-self._activity[var], var))
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[List[int], int]:
+        """First-UIP conflict analysis; returns (learnt clause, backtrack level)."""
+        learnt: List[int] = [0]
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        reason_lits: Sequence[int] = self._clauses[conflict]
+        while True:
+            for q in reason_lits:
+                var = abs(q)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] >= current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            seen[abs(lit)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[abs(lit)]
+            assert reason is not None, "UIP literal must have a reason"
+            reason_lits = [q for q in self._clauses[reason] if q != lit]
+        learnt[0] = -lit
+        if len(learnt) == 1:
+            return learnt, 0
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._phase[var] = lit > 0
+            self._assign[var] = 0
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # -- Search ------------------------------------------------------------------
+
+    def _decide(self) -> int:
+        while self._order_heap:
+            _, var = heapq.heappop(self._order_heap)
+            if self._assign[var] == 0:
+                return var if self._phase[var] else -var
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == 0:
+                return var if self._phase[var] else -var
+        return 0
+
+    def solve(self) -> Optional[Dict[int, bool]]:
+        """Search for a model; returns ``{var: bool}`` or None if unsat."""
+        if not self._ok:
+            return None
+        self._backtrack(0)
+        restart_base = 64
+        luby_index = 0
+        conflicts_since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                conflicts_since_restart += 1
+                if self.deadline is not None and self._conflicts % 256 == 0:
+                    import time
+
+                    if time.monotonic() > self.deadline:
+                        self._backtrack(0)
+                        raise SatSolver.Interrupted("SAT deadline exceeded")
+                if not self._trail_lim:
+                    self._ok = False
+                    return None
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if self._value(learnt[0]) == -1:
+                        self._ok = False
+                        return None
+                    if self._value(learnt[0]) == 0:
+                        self._uncheckedEnqueue(learnt[0], None)
+                else:
+                    index = len(self._clauses)
+                    self._clauses.append(learnt)
+                    self._watch(learnt[0], index)
+                    self._watch(learnt[1], index)
+                    self._uncheckedEnqueue(learnt[0], index)
+                self._var_inc /= self._var_decay
+                if conflicts_since_restart >= restart_base * luby(luby_index):
+                    luby_index += 1
+                    conflicts_since_restart = 0
+                    self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit == 0:
+                return {
+                    var: self._assign[var] == 1
+                    for var in range(1, self._num_vars + 1)
+                }
+            self._trail_lim.append(len(self._trail))
+            self._uncheckedEnqueue(lit, None)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_conflicts(self) -> int:
+        return self._conflicts
+
+
+def luby(x: int) -> int:
+    """The x-th element (0-based) of the Luby restart sequence 1 1 2 1 1 2 4…
+
+    Port of the classic MiniSat implementation.
+    """
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return 1 << seq

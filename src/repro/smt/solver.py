@@ -1,0 +1,237 @@
+"""Lazy DPLL(T) driver: SAT abstraction + LIA theory checks.
+
+The solver repeatedly asks the CDCL core for a boolean model of the formula's
+skeleton, checks the implied conjunction of linear constraints for integer
+feasibility, and — on theory conflict — adds the unsat core as a blocking
+lemma.  This is the classic lemmas-on-demand architecture, sufficient and
+complete for QF_LIA.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.lang.ast import Kind, Term
+from repro.lang.builders import not_
+from repro.lang.simplify import simplify
+from repro.lang.sorts import BOOL
+from repro.lang.traversal import free_vars
+from repro.smt.branch_bound import BudgetExceeded, check_lia
+from repro.smt.implicant import extract_implicant
+from repro.smt.tseitin import CnfEncoder
+
+Value = Union[int, bool]
+
+
+class Status(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class SolverBudgetExceeded(Exception):
+    """The solver ran out of its round/node/time budget."""
+
+
+@dataclass
+class Result:
+    """Outcome of a satisfiability check."""
+
+    status: Status
+    model: Optional[Dict[str, Value]] = None
+    rounds: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+
+@dataclass
+class SmtStats:
+    """Cumulative statistics over a solver's lifetime."""
+
+    checks: int = 0
+    rounds: int = 0
+    theory_conflicts: int = 0
+
+
+class SmtSolver:
+    """A one-shot QF_LIA satisfiability checker.
+
+    Each :meth:`check` call encodes one formula and runs the lazy loop.  A
+    fresh CDCL/encoder pair is used per check; learned theory lemmas do not
+    persist across checks (DryadSynth's CEGIS loops re-encode per query too).
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = 100000,
+        lia_node_budget: int = 20000,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.max_rounds = max_rounds
+        self.lia_node_budget = lia_node_budget
+        self.deadline = deadline
+        self.stats = SmtStats()
+        self._encoder = CnfEncoder()
+        self._trivially_false = False
+
+    def add(self, formula: Term) -> None:
+        """Assert a formula (incremental interface).
+
+        Clauses, atom canonicalisation and learned theory lemmas persist
+        across :meth:`solve` calls, so CEGIS-style loops that strengthen one
+        query keep everything the solver already derived.
+        """
+        if formula.sort is not BOOL:
+            raise ValueError("add() expects a Bool-sorted formula")
+        formula = simplify(formula)
+        if formula.kind is Kind.CONST:
+            if not formula.payload:
+                self._trivially_false = True
+            return
+        self._encoder.assert_formula(formula)
+
+    def check(self, formula: Term) -> Result:
+        """One-shot satisfiability check of a QF_LIA formula.
+
+        Equivalent to ``add(formula)`` followed by :meth:`solve` on a fresh
+        solver (this instance is reused — callers wanting isolation should
+        construct a new :class:`SmtSolver`).
+
+        Raises:
+            SolverBudgetExceeded: on timeout or budget exhaustion.
+        """
+        self.add(formula)
+        return self.solve()
+
+    def solve(self) -> Result:
+        """Run the lazy DPLL(T) loop over everything asserted so far."""
+        self.stats.checks += 1
+        if self._trivially_false:
+            return Result(Status.UNSAT, None, 0)
+        encoder = self._encoder
+        if not encoder.asserted:
+            return Result(Status.SAT, {}, 0)
+        rounds = 0
+        while True:
+            rounds += 1
+            self.stats.rounds += 1
+            if rounds > self.max_rounds:
+                raise SolverBudgetExceeded(f"exceeded {self.max_rounds} DPLL(T) rounds")
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                raise SolverBudgetExceeded("SMT deadline exceeded")
+            encoder.sat.deadline = self.deadline
+            try:
+                sat_model = encoder.sat.solve()
+            except encoder.sat.Interrupted as exc:
+                raise SolverBudgetExceeded(str(exc)) from exc
+            if sat_model is None:
+                return Result(Status.UNSAT, None, rounds)
+            # Only the atoms of a satisfying implicant go to the theory
+            # solver; conflicts then yield small, reusable lemmas.
+            needed = extract_implicant(encoder, sat_model)
+            constraints = []
+            for atom, positive in needed.items():
+                var = encoder.atom_vars[atom]
+                expr = atom.to_linexpr() if positive else atom.negate().to_linexpr()
+                lit = var if positive else -var
+                constraints.append((expr, lit))
+            try:
+                feasible, payload = check_lia(
+                    constraints, self.lia_node_budget, self.deadline
+                )
+            except BudgetExceeded as exc:
+                raise SolverBudgetExceeded(str(exc)) from exc
+            if feasible:
+                model = self._build_model(payload, encoder, sat_model)
+                return Result(Status.SAT, model, rounds)
+            self.stats.theory_conflicts += 1
+            core = payload
+            if not core:
+                return Result(Status.UNSAT, None, rounds)
+            core = self._minimize_core(constraints, core)
+            encoder.sat.add_clause([-lit for lit in core])
+
+    def _minimize_core(self, constraints, core):
+        """Deletion-based core shrinking: smaller cores mean stronger lemmas.
+
+        Each candidate deletion costs one LIA feasibility check on a small
+        conjunction, which is far cheaper than the extra DPLL(T) rounds a fat
+        lemma causes.
+        """
+        if len(core) <= 4 or len(core) > 24:
+            return core
+        by_tag = {tag: expr for expr, tag in constraints}
+        current = list(core)
+        checks_left = 12
+        index = 0
+        # Single linear deletion pass with a tiny node budget per check;
+        # minimisation is strictly best-effort.
+        while index < len(current) and len(current) > 1 and checks_left > 0:
+            trial = current[:index] + current[index + 1 :]
+            checks_left -= 1
+            try:
+                feasible, payload = check_lia([(by_tag[t], t) for t in trial], 60)
+            except BudgetExceeded:
+                return current
+            if feasible:
+                index += 1
+            else:
+                payload_set = set(payload)
+                shrunk = [t for t in trial if t in payload_set]
+                current = shrunk or trial
+        return current
+
+    def _build_model(
+        self,
+        int_model: Dict[str, int],
+        encoder: CnfEncoder,
+        sat_model: Dict[int, bool],
+    ) -> Dict[str, Value]:
+        model: Dict[str, Value] = dict(int_model)
+        for name, var in encoder.bool_vars.items():
+            model[name] = sat_model[var]
+        for formula in encoder.asserted:
+            for var_term in free_vars(formula):
+                name = var_term.payload
+                if name not in model:
+                    model[name] = False if var_term.sort is BOOL else 0
+        return model
+
+
+def check_sat(
+    formula: Term,
+    deadline: Optional[float] = None,
+) -> Result:
+    """Convenience one-shot satisfiability check."""
+    return SmtSolver(deadline=deadline).check(formula)
+
+
+def is_valid(
+    formula: Term,
+    deadline: Optional[float] = None,
+) -> Tuple[bool, Optional[Dict[str, Value]]]:
+    """Validity check; returns ``(True, None)`` or ``(False, counterexample)``."""
+    result = SmtSolver(deadline=deadline).check(not_(formula))
+    if result.is_unsat:
+        return True, None
+    if result.is_sat:
+        return False, result.model
+    raise SolverBudgetExceeded("validity check returned unknown")
+
+
+def get_counterexample(
+    formula: Term,
+    deadline: Optional[float] = None,
+) -> Optional[Dict[str, Value]]:
+    """A falsifying assignment for ``formula``, or None if it is valid."""
+    valid, counterexample = is_valid(formula, deadline)
+    return None if valid else counterexample

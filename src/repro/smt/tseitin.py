@@ -1,0 +1,212 @@
+"""Formula normalisation and Tseitin CNF encoding.
+
+Pipeline: integer ``ite`` terms are lifted out of comparisons, integer
+equalities split into two inequalities, every comparison canonicalised into a
+:class:`~repro.smt.linear.LinAtom`, and the boolean skeleton is encoded into
+CNF with one SAT variable per distinct atom/boolean variable and one
+definition variable per connective (Tseitin transformation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.lang.ast import Kind, Term
+from repro.lang.builders import and_, eq, ge, int_const
+from repro.lang.sorts import BOOL, INT
+from repro.lang.traversal import rewrite_bottom_up
+from repro.smt.linear import LinAtom, canonical_atom, term_to_linexpr
+from repro.smt.sat import SatSolver
+
+_COMPARISON_KINDS = (Kind.GE, Kind.GT, Kind.LE, Kind.LT)
+
+
+def lift_ite(term: Term) -> Term:
+    """Pull integer ``ite`` subterms out of comparisons and arithmetic.
+
+    After this pass, every ``ite`` in the formula has boolean branches (it is
+    part of the boolean skeleton), so comparisons are purely linear.
+    """
+
+    def rw(t: Term) -> Term:
+        if t.sort is not BOOL and t.kind is not Kind.ITE and t.args:
+            # An arithmetic node: hoist an ite child upward.
+            for i, child in enumerate(t.args):
+                if child.kind is Kind.ITE:
+                    cond, then, els = child.args
+                    then_args = t.args[:i] + (then,) + t.args[i + 1 :]
+                    else_args = t.args[:i] + (els,) + t.args[i + 1 :]
+                    lifted = Term.make(
+                        Kind.ITE,
+                        (
+                            cond,
+                            rw(Term.make(t.kind, then_args, t.payload, t.sort)),
+                            rw(Term.make(t.kind, else_args, t.payload, t.sort)),
+                        ),
+                    )
+                    return lifted
+        if t.sort is BOOL and t.kind in (*_COMPARISON_KINDS, Kind.EQ):
+            for i, child in enumerate(t.args):
+                if child.sort is INT and child.kind is Kind.ITE:
+                    cond, then, els = child.args
+                    then_args = t.args[:i] + (then,) + t.args[i + 1 :]
+                    else_args = t.args[:i] + (els,) + t.args[i + 1 :]
+                    return Term.make(
+                        Kind.ITE,
+                        (
+                            cond,
+                            rw(Term.make(t.kind, then_args, t.payload, t.sort)),
+                            rw(Term.make(t.kind, else_args, t.payload, t.sort)),
+                        ),
+                    )
+        return t
+
+    return rewrite_bottom_up(term, rw)
+
+
+def split_int_eq(term: Term) -> Term:
+    """Rewrite integer equalities ``a = b`` into ``a >= b and a <= b``."""
+
+    def rw(t: Term) -> Term:
+        if t.kind is Kind.EQ and t.args[0].sort is INT:
+            a, b = t.args
+            return and_(ge(a, b), ge(b, a))
+        return t
+
+    return rewrite_bottom_up(term, rw)
+
+
+class CnfEncoder:
+    """Encodes formulas into a :class:`SatSolver`, tracking theory atoms."""
+
+    def __init__(self, sat: Optional[SatSolver] = None) -> None:
+        self.sat = sat or SatSolver()
+        self.atom_vars: Dict[LinAtom, int] = {}
+        self.bool_vars: Dict[str, int] = {}
+        #: Comparison term -> (atom or None, positive, trivial truth value).
+        self.comparison_info: Dict[Term, Tuple[Optional[LinAtom], bool, Optional[bool]]] = {}
+        self._term_lits: Dict[Term, int] = {}
+        self._true_lit: Optional[int] = None
+        self.asserted: list[Term] = []
+
+    def true_lit(self) -> int:
+        if self._true_lit is None:
+            var = self.sat.new_var()
+            self.sat.add_clause([var])
+            self._true_lit = var
+        return self._true_lit
+
+    def assert_formula(self, formula: Term) -> Term:
+        """Normalise, encode, and assert ``formula``; returns the prepared form."""
+        prepared = split_int_eq(lift_ite(formula))
+        lit = self.encode(prepared)
+        self.sat.add_clause([lit])
+        self.asserted.append(prepared)
+        return prepared
+
+    def atom_literal(self, atom: LinAtom, positive: bool) -> int:
+        var = self.atom_vars.get(atom)
+        if var is None:
+            var = self.sat.new_var()
+            self.atom_vars[atom] = var
+        return var if positive else -var
+
+    def encode(self, term: Term) -> int:
+        """Returns a SAT literal equivalent to the (normalised) formula."""
+        hit = self._term_lits.get(term)
+        if hit is not None:
+            return hit
+        lit = self._encode_uncached(term)
+        self._term_lits[term] = lit
+        return lit
+
+    def _encode_uncached(self, term: Term) -> int:
+        kind = term.kind
+        if kind is Kind.CONST:
+            return self.true_lit() if term.payload else -self.true_lit()
+        if kind is Kind.VAR:
+            name = term.payload
+            var = self.bool_vars.get(name)  # type: ignore[arg-type]
+            if var is None:
+                var = self.sat.new_var()
+                self.bool_vars[name] = var  # type: ignore[index]
+            return var
+        if kind in _COMPARISON_KINDS:
+            return self._encode_comparison(term)
+        if kind is Kind.NOT:
+            return -self.encode(term.args[0])
+        if kind is Kind.AND:
+            lits = [self.encode(a) for a in term.args]
+            out = self.sat.new_var()
+            for lit in lits:
+                self.sat.add_clause([-out, lit])
+            self.sat.add_clause([out] + [-lit for lit in lits])
+            return out
+        if kind is Kind.OR:
+            lits = [self.encode(a) for a in term.args]
+            out = self.sat.new_var()
+            for lit in lits:
+                self.sat.add_clause([out, -lit])
+            self.sat.add_clause([-out] + lits)
+            return out
+        if kind is Kind.IMPLIES:
+            a = self.encode(term.args[0])
+            b = self.encode(term.args[1])
+            out = self.sat.new_var()
+            self.sat.add_clause([-out, -a, b])
+            self.sat.add_clause([out, a])
+            self.sat.add_clause([out, -b])
+            return out
+        if kind is Kind.EQ:  # boolean equivalence after split_int_eq
+            a = self.encode(term.args[0])
+            b = self.encode(term.args[1])
+            out = self.sat.new_var()
+            self.sat.add_clause([-out, -a, b])
+            self.sat.add_clause([-out, a, -b])
+            self.sat.add_clause([out, a, b])
+            self.sat.add_clause([out, -a, -b])
+            return out
+        if kind is Kind.ITE:
+            c = self.encode(term.args[0])
+            t = self.encode(term.args[1])
+            e = self.encode(term.args[2])
+            out = self.sat.new_var()
+            self.sat.add_clause([-out, -c, t])
+            self.sat.add_clause([-out, c, e])
+            self.sat.add_clause([out, -c, -t])
+            self.sat.add_clause([out, c, -e])
+            return out
+        if kind is Kind.APP:
+            raise ValueError(
+                f"function application {term.payload!r} reached the SMT layer; "
+                "inline synthesized/interpreted functions first"
+            )
+        raise ValueError(f"cannot encode term of kind {kind}: {term!r}")
+
+    def _encode_comparison(self, term: Term) -> int:
+        left, right = term.args
+        kind = term.kind
+        if kind is Kind.GE:
+            diff = _linexpr_diff(left, right, 0)
+        elif kind is Kind.GT:
+            diff = _linexpr_diff(left, right, -1)
+        elif kind is Kind.LE:
+            diff = _linexpr_diff(right, left, 0)
+        else:  # LT
+            diff = _linexpr_diff(right, left, -1)
+        atom, positive = canonical_atom(diff)
+        if not atom.coeffs:
+            # Trivial atom: constant truth value.
+            truth = (atom.const >= 0) == positive
+            self.comparison_info[term] = (None, positive, truth)
+            return self.true_lit() if truth else -self.true_lit()
+        self.comparison_info[term] = (atom, positive, None)
+        return self.atom_literal(atom, positive)
+
+
+def _linexpr_diff(left: Term, right: Term, offset: int):
+    return (
+        term_to_linexpr(left)
+        - term_to_linexpr(right)
+        + term_to_linexpr(int_const(offset))
+    )

@@ -1,0 +1,34 @@
+"""SyGuS front-end: grammars, problems, and the SyGuS-IF parser."""
+
+from repro.sygus.grammar import (
+    AnyConstMarker,
+    Grammar,
+    InterpretedFunction,
+    any_const,
+    clia_grammar,
+    nonterminal,
+    qm_grammar,
+)
+from repro.sygus.problem import (
+    InvariantProblem,
+    Solution,
+    SynthFun,
+    SygusProblem,
+)
+from repro.sygus.parser import parse_sygus_file, parse_sygus_text
+
+__all__ = [
+    "AnyConstMarker",
+    "Grammar",
+    "InterpretedFunction",
+    "any_const",
+    "clia_grammar",
+    "nonterminal",
+    "qm_grammar",
+    "InvariantProblem",
+    "Solution",
+    "SynthFun",
+    "SygusProblem",
+    "parse_sygus_file",
+    "parse_sygus_text",
+]

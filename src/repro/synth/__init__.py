@@ -1,0 +1,37 @@
+"""The paper's primary contribution: cooperative synthesis (DryadSynth).
+
+Submodules:
+
+- :mod:`repro.synth.cegis` — the CEGIS loop (Section 2.2).
+- :mod:`repro.synth.decision_tree` — decision-tree normal form (Figure 5).
+- :mod:`repro.synth.encoding` — symbolic fixed-height encodings (Section 5.2).
+- :mod:`repro.synth.fixed_height` — Algorithm 2 and height enumeration.
+- :mod:`repro.synth.deduction` — deductive rules (Figures 7 and 8).
+- :mod:`repro.synth.loop_summary` — fast-trans loop summarisation (Section 6).
+- :mod:`repro.synth.divide` — divide-and-conquer strategies (Figure 4).
+- :mod:`repro.synth.graph` — the subproblem graph (Section 3.2).
+- :mod:`repro.synth.cooperative` — Algorithm 1, the cooperative loop.
+- :mod:`repro.synth.parallel` — parallel height search (Section 5.1).
+"""
+
+from repro.synth.config import SynthConfig
+from repro.synth.cooperative import CooperativeSynthesizer, solve
+from repro.synth.fixed_height import (
+    FixedHeightSession,
+    HeightEnumerationSynthesizer,
+)
+from repro.synth.parallel import ParallelHeightSynthesizer
+from repro.synth.result import SynthesisOutcome, SynthesisStats
+from repro.synth.trace import SynthesisTrace
+
+__all__ = [
+    "SynthConfig",
+    "CooperativeSynthesizer",
+    "solve",
+    "FixedHeightSession",
+    "HeightEnumerationSynthesizer",
+    "ParallelHeightSynthesizer",
+    "SynthesisOutcome",
+    "SynthesisStats",
+    "SynthesisTrace",
+]

@@ -1,0 +1,85 @@
+"""The counterexample-guided inductive synthesis loop (Section 2.2).
+
+:func:`cegis` is the generic loop shared by the fixed-height engine and by
+the baselines: a *synthesizer callback* proposes candidates consistent with
+the accumulated counterexamples; the verifier (condition 2.4, discharged by
+the SMT substrate) either accepts or produces a new counterexample.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.ast import Term
+from repro.lang.evaluator import Value
+from repro.smt.solver import SolverBudgetExceeded
+from repro.sygus.problem import SygusProblem
+
+Example = Dict[str, Value]
+
+#: Proposes a candidate consistent with the examples, or None if impossible.
+InductiveSynthesizer = Callable[[List[Example]], Optional[Term]]
+
+
+class CegisTimeout(Exception):
+    """The CEGIS loop hit its wall-clock deadline."""
+
+
+def cegis(
+    problem: SygusProblem,
+    ind_synth: InductiveSynthesizer,
+    initial_candidate: Optional[Term] = None,
+    examples: Optional[List[Example]] = None,
+    max_rounds: int = 40,
+    deadline: Optional[float] = None,
+) -> Tuple[Optional[Term], List[Example], int]:
+    """Run CEGIS; returns ``(solution or None, examples, iterations)``.
+
+    ``examples`` is mutated in place when provided, so callers (e.g. parallel
+    height search, Section 5.1) can share counterexamples across runs.
+
+    Raises:
+        CegisTimeout: when the deadline expires mid-loop.
+    """
+    if examples is None:
+        examples = []
+    candidate = initial_candidate
+    from_ind_synth = False
+    if candidate is None:
+        candidate = ind_synth(examples)
+        from_ind_synth = True
+        if candidate is None:
+            return None, examples, 0
+    iterations = 0
+    for _ in range(max_rounds):
+        iterations += 1
+        _check_deadline(deadline)
+        try:
+            ok, counterexample = problem.verify(candidate, deadline)
+        except SolverBudgetExceeded as exc:
+            raise CegisTimeout(str(exc)) from exc
+        if ok:
+            return candidate, examples, iterations
+        assert counterexample is not None
+        if counterexample not in examples:
+            examples.append(counterexample)
+        elif from_ind_synth:
+            # ind_synth claimed consistency with this example yet the
+            # verifier refutes the candidate on it: no progress is possible
+            # (this indicates the candidate space is exhausted).
+            return None, examples, iterations
+        _check_deadline(deadline)
+        try:
+            candidate = ind_synth(examples)
+        except SolverBudgetExceeded as exc:
+            raise CegisTimeout(str(exc)) from exc
+        from_ind_synth = True
+        if candidate is None:
+            return None, examples, iterations
+    return None, examples, iterations
+
+
+def _check_deadline(deadline: Optional[float]) -> None:
+    if deadline is not None and time.monotonic() > deadline:
+        raise CegisTimeout("CEGIS deadline exceeded")

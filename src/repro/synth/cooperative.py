@@ -1,0 +1,340 @@
+"""Cooperative synthesis — Algorithm 1 (Section 3.3).
+
+The solver keeps a subproblem graph, a deduction queue and a height-priority
+enumeration queue.  Deduction always has priority; problems it cannot finish
+are divided (Section 4) and also handed to the fixed-height enumerative
+engine, one height at a time.  Solutions to Type-A subproblems transform
+their parents into Type-B subproblems, whose solutions combine back into
+parent solutions, all the way up to the source.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import logging
+import time
+from collections import deque
+from typing import Callable, List, Optional
+
+logger = logging.getLogger(__name__)
+
+from repro.lang.ast import Term
+from repro.smt.solver import SolverBudgetExceeded
+from repro.sygus.problem import Solution, SygusProblem
+from repro.synth.cegis import CegisTimeout
+from repro.synth.config import SynthConfig
+from repro.synth.deduction import Deducer
+from repro.synth.divide import Split, propose_splits
+from repro.synth.encoding import EncodingUnsupported
+from repro.synth.fixed_height import fixed_height
+from repro.synth.graph import Edge, Node, SubproblemGraph
+from repro.synth.result import SynthesisOutcome, SynthesisStats
+
+#: Signature of a pluggable enumerative engine: returns a candidate body of
+#: height (or size class) ``height`` consistent with the problem, or None.
+EnumEngine = Callable[..., Optional[Term]]
+
+#: Maximum divide-and-conquer depth (splits of splits).
+_MAX_SPLIT_DEPTH = 2
+
+
+def _default_enum_engine(
+    problem: SygusProblem,
+    height: int,
+    examples: list,
+    config: SynthConfig,
+    deadline: Optional[float],
+    stats: SynthesisStats,
+    session_store: Optional[dict] = None,
+) -> Optional[Term]:
+    return fixed_height(
+        problem,
+        height,
+        config,
+        examples=examples,
+        deadline=deadline,
+        stats=stats,
+        session_store=session_store,
+    )
+
+
+class CooperativeSynthesizer:
+    """DryadSynth: deduction + divide-and-conquer + height enumeration."""
+
+    def __init__(
+        self,
+        config: Optional[SynthConfig] = None,
+        enum_engine: Optional[EnumEngine] = None,
+        name: str = "dryadsynth",
+        trace: Optional["SynthesisTrace"] = None,
+    ) -> None:
+        import inspect
+
+        self.config = config or SynthConfig()
+        self.enum_engine = enum_engine or _default_enum_engine
+        self.name = name
+        self.trace = trace
+        self._engine_takes_sessions = (
+            "session_store" in inspect.signature(self.enum_engine).parameters
+        )
+
+    def _record(self, kind: str, problem_name: str, detail: str = "", height=None):
+        if self.trace is not None:
+            self.trace.record(kind, problem_name, detail, height)
+
+    # -- Main loop (Algorithm 1) -------------------------------------------------
+
+    def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
+        config = self.config
+        stats = SynthesisStats()
+        start = time.monotonic()
+        deadline = start + config.timeout if config.timeout is not None else None
+        graph = SubproblemGraph(problem)
+        ded_queue: deque = deque([graph.source])
+        enum_queue: List = []
+        counter = itertools.count()
+        timed_out = False
+
+        def enqueue_enum(node: Node, height: int) -> None:
+            heapq.heappush(enum_queue, (height, next(counter), node))
+
+        try:
+            while not graph.source.solved:
+                if deadline is not None and time.monotonic() > deadline:
+                    timed_out = True
+                    break
+                if ded_queue:
+                    node = ded_queue.popleft()
+                    if node.solved:
+                        continue
+                    logger.debug("deduct: %s", node.problem.name)
+                    self._record("deduct", node.problem.name)
+                    self._deduction_step(node, graph, ded_queue, stats, deadline)
+                    if not node.solved:
+                        enqueue_enum(node, 1)
+                elif enum_queue:
+                    height, _, node = heapq.heappop(enum_queue)
+                    if node.solved:
+                        continue
+                    stats.heights_tried += 1
+                    stats.max_height_reached = max(stats.max_height_reached, height)
+                    step_start = time.monotonic()
+                    body, exhausted = self._enum_step(node, height, stats, deadline)
+                    step_outcome = (
+                        "hit" if body is not None else (
+                            "miss" if exhausted else "preempted"
+                        )
+                    )
+                    logger.debug(
+                        "enum h=%d %s -> %s (%.2fs)",
+                        height,
+                        node.problem.name,
+                        step_outcome,
+                        time.monotonic() - step_start,
+                    )
+                    self._record("enum", node.problem.name, step_outcome, height)
+                    if body is not None:
+                        self._mark_solved(node, body, graph, ded_queue, stats, deadline)
+                    elif not exhausted:
+                        # Time slice expired: yield to other subproblems and
+                        # come back to the same height later.
+                        enqueue_enum(node, height)
+                    elif height < config.max_height:
+                        enqueue_enum(node, height + 1)
+                else:
+                    break
+        except (CegisTimeout, SolverBudgetExceeded):
+            timed_out = True
+        if graph.source.solved:
+            body = graph.source.solution
+            if config.minimize_solutions:
+                from repro.synth.minimize import minimize_solution
+
+                try:
+                    body = minimize_solution(
+                        problem, body, config.minimize_budget, deadline
+                    )
+                except SolverBudgetExceeded:
+                    pass
+            elapsed = time.monotonic() - start
+            solution = Solution(problem, body, self.name, elapsed)
+            return SynthesisOutcome(solution, stats)
+        return SynthesisOutcome(None, stats, timed_out=timed_out)
+
+    # -- Steps -------------------------------------------------------------------------
+
+    def _deduction_step(
+        self,
+        node: Node,
+        graph: SubproblemGraph,
+        ded_queue: deque,
+        stats: SynthesisStats,
+        deadline: Optional[float],
+    ) -> None:
+        config = self.config
+        if config.enable_deduction:
+            deducer = Deducer(node.problem, stats)
+            result = deducer.deduct()
+            if result.solution is not None:
+                self._mark_solved(
+                    node, result.solution, graph, ded_queue, stats, deadline
+                )
+                return
+            if result.unsolvable:
+                node.expanded = True
+                return
+            if result.simplified_spec is not None:
+                node.problem = node.problem.with_spec(result.simplified_spec)
+        if (
+            config.enable_divide
+            and not node.expanded
+            and node.depth < _MAX_SPLIT_DEPTH
+        ):
+            node.expanded = True
+            for split in propose_splits(node.problem, config):
+                child, created = graph.add_subproblem(node, split)
+                stats.subproblems_created += int(created)
+                self._record(
+                    "split",
+                    node.problem.name,
+                    f"{split.strategy}:{split.subproblem.name}",
+                )
+                if created:
+                    ded_queue.append(child)
+                elif child.solved:
+                    # Shared subproblem already solved: propagate to us now.
+                    self._propagate(child, graph, ded_queue, stats, deadline)
+
+    def _enum_step(
+        self,
+        node: Node,
+        height: int,
+        stats: SynthesisStats,
+        deadline: Optional[float],
+    ):
+        """One fixed-height attempt; returns ``(body, exhausted)``.
+
+        ``exhausted`` is True when the height was fully explored (no solution
+        exists there) and False when the per-step time slice preempted the
+        search.
+        """
+        slice_deadline = deadline
+        if self.config.enum_slice is not None:
+            step_limit = time.monotonic() + self.config.enum_slice * node.slice_factor
+            slice_deadline = (
+                min(deadline, step_limit) if deadline is not None else step_limit
+            )
+        examples_before = len(node.examples)
+        try:
+            kwargs = {}
+            if self._engine_takes_sessions:
+                kwargs["session_store"] = node.sessions
+            body = self.enum_engine(
+                node.problem,
+                height,
+                node.examples,
+                self.config,
+                slice_deadline,
+                stats,
+                **kwargs,
+            )
+            node.slice_factor = 1.0
+            return body, True
+        except EncodingUnsupported:
+            return None, True
+        except (CegisTimeout, SolverBudgetExceeded):
+            if deadline is not None and time.monotonic() > deadline:
+                raise
+            if len(node.examples) == examples_before:
+                # No progress inside the slice: give the retry twice the time
+                # so a single long SMT call can eventually complete.
+                node.slice_factor *= 2.0
+            else:
+                node.slice_factor = 1.0
+            return None, False
+
+    # -- Solution propagation ---------------------------------------------------------------
+
+    def _mark_solved(
+        self,
+        node: Node,
+        body: Term,
+        graph: SubproblemGraph,
+        ded_queue: deque,
+        stats: SynthesisStats,
+        deadline: Optional[float],
+        verified: bool = False,
+    ) -> None:
+        if node.solved:
+            return
+        # Defense in depth: never accept an unverified body, whatever engine
+        # produced it (pluggable engines may only be example-consistent).
+        if not verified and not self._accept(node, body, deadline):
+            logger.debug("rejected unverified candidate for %s", node.problem.name)
+            self._record("reject", node.problem.name)
+            return
+        node.solution = body
+        stats.subproblems_solved += 1
+        self._record("solved", node.problem.name, detail="direct")
+        self._propagate(node, graph, ded_queue, stats, deadline)
+
+    def _propagate(
+        self,
+        node: Node,
+        graph: SubproblemGraph,
+        ded_queue: deque,
+        stats: SynthesisStats,
+        deadline: Optional[float],
+    ) -> None:
+        """Turn parents of a solved Type-A node into Type-B subproblems."""
+        assert node.solution is not None
+        for edge in list(node.incoming):
+            parent = edge.parent
+            if parent.solved:
+                continue
+            resolution = edge.split.resolve(node.solution)
+            if resolution is None:
+                continue
+            if resolution[0] == "solution":
+                candidate = resolution[1]
+                self._mark_solved(
+                    parent, candidate, graph, ded_queue, stats, deadline
+                )
+                continue
+            _, b_problem, combine = resolution
+            b_node, created = graph.add_problem(b_problem, parent.depth + 1)
+            b_node.incoming.append(
+                Edge(parent, _combiner_split(b_problem, combine))
+            )
+            if created:
+                ded_queue.append(b_node)
+            elif b_node.solved:
+                self._propagate(b_node, graph, ded_queue, stats, deadline)
+
+    def _accept(
+        self, node: Node, candidate: Term, deadline: Optional[float]
+    ) -> bool:
+        """Defensive verification of a combined solution."""
+        try:
+            ok, _ = node.problem.verify(candidate, deadline)
+        except SolverBudgetExceeded:
+            return False
+        return ok
+
+
+def _combiner_split(b_problem: SygusProblem, combine: Callable[[Term], Term]) -> Split:
+    """A synthetic split whose resolution applies the Type-B combiner."""
+
+    def resolve(b_body: Term):
+        return ("solution", combine(b_body))
+
+    return Split("type-b", b_problem, resolve)
+
+
+def solve(
+    problem: SygusProblem,
+    config: Optional[SynthConfig] = None,
+) -> SynthesisOutcome:
+    """Solve a SyGuS problem with the full cooperative synthesizer."""
+    return CooperativeSynthesizer(config).synthesize(problem)

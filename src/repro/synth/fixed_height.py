@@ -1,0 +1,314 @@
+"""Fixed-height synthesis (Algorithm 2) and height enumeration (Section 5).
+
+``fixed_height`` runs one CEGIS loop whose inductive queries are discharged
+symbolically: the candidate space (all programs of syntax-tree height <= h)
+is encoded as unknown integer coefficients/selectors and each query becomes
+one QF_LIA SMT call.  ``HeightEnumerationSynthesizer`` wraps it in the
+height-increasing outer loop, guaranteeing the smallest-height solution; this
+standalone form is the "plain height-based enumeration" baseline of the
+paper's ablation study (Figure 14).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import Kind, Term
+from repro.lang.builders import and_, int_const
+from repro.lang.evaluator import EvaluationError, Value, evaluate
+from repro.lang.traversal import rewrite_bottom_up
+from repro.smt.solver import SmtSolver, SolverBudgetExceeded, Status
+from repro.sygus.problem import Solution, SygusProblem
+from repro.synth.cegis import CegisTimeout, Example, cegis
+from repro.synth.config import SynthConfig
+from repro.synth.encoding import (
+    CliaTreeEncoder,
+    EncodingUnsupported,
+    GeneralGrammarEncoder,
+    grammar_is_full_clia,
+)
+from repro.synth.result import SynthesisOutcome, SynthesisStats
+
+
+def make_encoder(problem: SygusProblem, height: int, prefix: str = "fh"):
+    """Choose the most structured encoding the grammar admits.
+
+    CLIA grammars get the decision-tree normal form (Figure 5); affine
+    operator grammars like ``G_qm`` get the paper's adapted ``interpret_h``
+    with operator nodes over affine leaves; everything else falls back to the
+    generic production-selector encoding.
+    """
+    from repro.synth.affine_encoding import AffineSpineEncoder, affine_operator_view
+
+    if grammar_is_full_clia(problem.synth_fun.grammar):
+        return CliaTreeEncoder(problem.synth_fun, height, prefix)
+    if (
+        problem.synth_fun.return_sort.name == "Int"
+        and affine_operator_view(problem.synth_fun.grammar) is not None
+    ):
+        return AffineSpineEncoder(problem.synth_fun, height, prefix)
+    return GeneralGrammarEncoder(problem.synth_fun, height, prefix)
+
+
+def inductive_query(
+    problem: SygusProblem,
+    encoder,
+    examples: Sequence[Example],
+) -> Term:
+    """The symbolic constraint “candidate satisfies the spec on every example”.
+
+    For each example the spec's variables are fixed to concrete values and
+    every invocation of the synth-fun is replaced by the encoder's symbolic
+    interpretation on the (now concrete) argument vector — the
+    ``interpret_h`` substitution of Section 5.2.
+    """
+    fun_name = problem.fun_name
+    parts: List[Term] = []
+    for env in examples:
+        side_constraints: List[Term] = []
+
+        def rewrite(t: Term) -> Term:
+            if t.kind is Kind.VAR and t.payload in env:
+                value = env[t.payload]  # type: ignore[index]
+                if t.sort.name == "Int":
+                    return int_const(int(value))
+                from repro.lang.builders import bool_const
+
+                return bool_const(bool(value))
+            if t.kind is Kind.APP and t.payload == fun_name:
+                arg_values = []
+                for arg in t.args:
+                    try:
+                        arg_values.append(int(evaluate(arg, {})))
+                    except EvaluationError as exc:
+                        raise EncodingUnsupported(
+                            "nested synth-fun invocations are not supported by "
+                            "the symbolic encoding"
+                        ) from exc
+                value, side = encoder.app_instance(arg_values)
+                if side.kind is not Kind.CONST or not side.payload:
+                    side_constraints.append(side)
+                return value
+            return t
+
+        instantiated = rewrite_bottom_up(problem.spec, rewrite)
+        parts.append(instantiated)
+        parts.extend(side_constraints)
+    return and_(*parts)
+
+
+def _seeded_bounds(problem: SygusProblem, schedule) -> tuple:
+    """Drop widening rounds that cannot cover the spec's own constants.
+
+    If the specification mentions the constant 100, a candidate with
+    constants bounded by 1 almost never verifies; starting the widening at
+    the smallest bound >= the largest spec constant skips provably useless
+    UNSAT rounds.
+    """
+    from repro.lang.ast import Kind
+    from repro.lang.traversal import subexpressions
+
+    largest = 1
+    for sub_term in subexpressions(problem.spec):
+        if sub_term.kind is Kind.CONST and isinstance(sub_term.payload, int):
+            largest = max(largest, abs(sub_term.payload))
+    kept = tuple(b for b in schedule if b >= largest)
+    if kept:
+        return kept
+    return schedule[-1:]
+
+
+class FixedHeightSession:
+    """A resumable Algorithm-2 run at one (problem, height).
+
+    The session owns the symbolic encoder and one incremental SMT solver per
+    constant bound; each CEGIS iteration only asserts the newest
+    counterexample, so clause learning and theory lemmas persist — both
+    across iterations and across *preempted time slices* (the cooperative
+    loop parks a session when its slice expires and resumes it later with
+    all solver state intact).
+    """
+
+    def __init__(
+        self,
+        problem: SygusProblem,
+        height: int,
+        config: SynthConfig,
+        stats: Optional[SynthesisStats] = None,
+        prefix: Optional[str] = None,
+    ) -> None:
+        self.problem = problem
+        self.height = height
+        self.config = config
+        self.stats = stats if stats is not None else SynthesisStats()
+        self.encoder = make_encoder(problem, height, prefix or f"fh{height}")
+        if getattr(self.encoder, "has_const_unknowns", True):
+            self.bounds = _seeded_bounds(problem, config.const_bounds)
+        else:
+            self.bounds = config.const_bounds[:1]
+        self._solvers: Dict[int, SmtSolver] = {}
+        self._asserted: Dict[int, int] = {}
+        self.candidate: Optional[Term] = self.encoder.initial_candidate()
+        self._candidate_from_ind = False
+        self.rounds = 0
+        self.exhausted = False
+
+    def run(
+        self, examples: List[Example], deadline: Optional[float] = None
+    ) -> Optional[Term]:
+        """Continue the CEGIS loop; returns a solution or None.
+
+        ``None`` with :attr:`exhausted` unset means the deadline preempted
+        the session (resume later); with :attr:`exhausted` set there is no
+        solution at this height (within the coefficient bounds).
+
+        Raises:
+            CegisTimeout: when the deadline expires mid-step.
+        """
+        if self.exhausted:
+            return None
+        problem, stats = self.problem, self.stats
+        while self.rounds < self.config.max_cegis_rounds:
+            self._check_deadline(deadline)
+            self.rounds += 1
+            stats.cegis_iterations += 1
+            try:
+                ok, counterexample = problem.verify(self.candidate, deadline)
+            except SolverBudgetExceeded as exc:
+                self.rounds -= 1
+                raise CegisTimeout(str(exc)) from exc
+            if ok:
+                return self.candidate
+            assert counterexample is not None
+            if counterexample not in examples:
+                examples.append(counterexample)
+            elif self._candidate_from_ind:
+                # ind-synth claimed consistency yet verification refutes on a
+                # known example: the candidate space is exhausted.
+                self.exhausted = True
+                return None
+            candidate = self._ind_synth(examples, deadline)
+            if candidate is None:
+                self.exhausted = True
+                return None
+            self.candidate = candidate
+            self._candidate_from_ind = True
+        self.exhausted = True
+        return None
+
+    def _check_deadline(self, deadline: Optional[float]) -> None:
+        if deadline is not None and time.monotonic() > deadline:
+            raise CegisTimeout("fixed-height deadline exceeded")
+
+    def _ind_synth(
+        self, examples: List[Example], deadline: Optional[float]
+    ) -> Optional[Term]:
+        if not examples:
+            return self.encoder.initial_candidate()
+        for const_bound in self.bounds:
+            self._check_deadline(deadline)
+            solver = self._solvers.get(const_bound)
+            if solver is None:
+                solver = SmtSolver(lia_node_budget=self.config.lia_node_budget)
+                solver.add(
+                    self.encoder.static_constraints(
+                        self.config.coeff_bound, const_bound
+                    )
+                )
+                self._solvers[const_bound] = solver
+                self._asserted[const_bound] = 0
+            for example in examples[self._asserted[const_bound] :]:
+                solver.add(inductive_query(self.problem, self.encoder, [example]))
+            self._asserted[const_bound] = len(examples)
+            solver.deadline = deadline
+            self.stats.smt_checks += 1
+            try:
+                result = solver.solve()
+            except SolverBudgetExceeded as exc:
+                raise CegisTimeout(str(exc)) from exc
+            if result.status is Status.SAT:
+                assert result.model is not None
+                return self.encoder.decode(
+                    result.model, self.problem.synth_fun.params
+                )
+        return None
+
+
+def fixed_height(
+    problem: SygusProblem,
+    height: int,
+    config: SynthConfig,
+    examples: Optional[List[Example]] = None,
+    deadline: Optional[float] = None,
+    stats: Optional[SynthesisStats] = None,
+    prefix: Optional[str] = None,
+    session_store: Optional[Dict[int, FixedHeightSession]] = None,
+) -> Optional[Term]:
+    """Algorithm 2: CEGIS with symbolic fixed-height inductive synthesis.
+
+    Returns a candidate body of height <= ``height`` satisfying the spec, or
+    None if none exists (within the configured coefficient bounds).  Pass a
+    ``session_store`` dict to make preempted runs resumable (the cooperative
+    loop does this per subproblem node).
+
+    Raises:
+        CegisTimeout: when the deadline expires.
+        EncodingUnsupported: when the grammar cannot be encoded.
+    """
+    if examples is None:
+        examples = []
+    session: Optional[FixedHeightSession] = None
+    if session_store is not None:
+        session = session_store.get(height)
+    if session is None:
+        session = FixedHeightSession(problem, height, config, stats, prefix)
+        if session_store is not None:
+            session_store[height] = session
+    elif stats is not None:
+        session.stats = stats
+    return session.run(examples, deadline)
+
+
+class HeightEnumerationSynthesizer:
+    """Plain height-based enumeration: try h = 1, 2, ... (Section 5.1).
+
+    Counterexamples are shared across heights, mirroring the paper's
+    parallelised implementation which shares the counterexample set between
+    per-height CEGIS loops.
+    """
+
+    name = "height-enum"
+
+    def __init__(self, config: Optional[SynthConfig] = None):
+        self.config = config or SynthConfig()
+
+    def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
+        config = self.config
+        stats = SynthesisStats()
+        deadline = (
+            time.monotonic() + config.timeout if config.timeout is not None else None
+        )
+        start = time.monotonic()
+        examples: List[Example] = []
+        try:
+            for height in range(1, config.max_height + 1):
+                stats.heights_tried += 1
+                stats.max_height_reached = height
+                body = fixed_height(
+                    problem,
+                    height,
+                    config,
+                    examples=examples,
+                    deadline=deadline,
+                    stats=stats,
+                )
+                if body is not None:
+                    elapsed = time.monotonic() - start
+                    solution = Solution(problem, body, self.name, elapsed)
+                    return SynthesisOutcome(solution, stats)
+        except (CegisTimeout, SolverBudgetExceeded):
+            return SynthesisOutcome(None, stats, timed_out=True)
+        except EncodingUnsupported:
+            return SynthesisOutcome(None, stats)
+        return SynthesisOutcome(None, stats)

@@ -1,0 +1,96 @@
+"""The subproblem graph (Section 3.2, Definition 3.1).
+
+A DAG whose unique source is the original problem; an edge ``P -> Q`` means
+``Q`` is a Type-A subproblem of ``P`` under some divide-and-conquer strategy.
+Nodes are deduplicated by specification and synth-fun signature, so a
+subproblem shared between multiple parents (Figure 3's node ``R``) is solved
+once and its solution propagates to every parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.ast import Term
+from repro.sygus.problem import SygusProblem
+from repro.synth.divide import Split
+
+
+@dataclass(eq=False)
+class Edge:
+    """Parent-to-child edge: the child is the parent's Type-A subproblem."""
+
+    parent: "Node"
+    split: Split
+
+
+@dataclass(eq=False)
+class Node:
+    """A problem node: the problem, its solution (if found), and its parents."""
+
+    problem: SygusProblem
+    incoming: List[Edge] = field(default_factory=list)
+    solution: Optional[Term] = None
+    examples: list = field(default_factory=list)
+    expanded: bool = False
+    depth: int = 0
+    #: Time-slice multiplier, doubled when a slice expires without progress.
+    slice_factor: float = 1.0
+    #: Resumable fixed-height sessions, keyed by height (solver state
+    #: survives time-slice preemption).
+    sessions: dict = field(default_factory=dict)
+
+    @property
+    def solved(self) -> bool:
+        return self.solution is not None
+
+
+def _node_key(problem: SygusProblem) -> Tuple:
+    return (
+        problem.spec,
+        problem.synth_fun.name,
+        problem.synth_fun.params,
+        problem.synth_fun.return_sort,
+        problem.synth_fun.grammar.fingerprint(),
+    )
+
+
+class SubproblemGraph:
+    """DAG of subproblems with structural node sharing."""
+
+    def __init__(self, root_problem: SygusProblem):
+        self._nodes: Dict[Tuple, Node] = {}
+        self.source = Node(root_problem)
+        self._nodes[_node_key(root_problem)] = self.source
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def add_subproblem(self, parent: Node, split: Split) -> Tuple[Node, bool]:
+        """Add ``split``'s Type-A subproblem under ``parent``.
+
+        Returns ``(node, created)`` where ``created`` is False when the
+        subproblem was already present (shared structure).
+        """
+        key = _node_key(split.subproblem)
+        node = self._nodes.get(key)
+        created = node is None
+        if node is None:
+            node = Node(split.subproblem, depth=parent.depth + 1)
+            self._nodes[key] = node
+        node.incoming.append(Edge(parent, split))
+        return node, created
+
+    def add_problem(self, problem: SygusProblem, depth: int) -> Tuple[Node, bool]:
+        """Add a free-standing problem node (used for Type-B problems)."""
+        key = _node_key(problem)
+        node = self._nodes.get(key)
+        created = node is None
+        if node is None:
+            node = Node(problem, depth=depth)
+            self._nodes[key] = node
+        return node, created

@@ -1,0 +1,94 @@
+"""Post-hoc solution minimisation.
+
+The paper observes (Table 1 discussion) that DryadSynth's deductive
+component "does not control the solution size": merging rules produce
+correct but redundant ite towers.  This pass shrinks a verified solution by
+attempting size-decreasing, verification-preserving rewrites:
+
+1. collapse ite branches whose condition is decidable relative to nothing
+   (handled by ``simplify``);
+2. try replacing any subterm with a strictly smaller candidate drawn from
+   {0, 1, the parameters, the subterm's own children}; keep a replacement
+   iff the whole solution still verifies.
+
+Every accepted rewrite re-verifies against the full specification, so the
+result is correct by construction; the budget bounds the number of SMT
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.lang.ast import Kind, Term
+from repro.lang.builders import int_const
+from repro.lang.simplify import simplify
+from repro.lang.sorts import INT
+from repro.lang.traversal import subexpressions, substitute
+from repro.sygus.problem import SygusProblem
+
+
+def _candidate_replacements(sub: Term, problem: SygusProblem) -> Iterator[Term]:
+    """Strictly smaller terms that could replace ``sub``."""
+    if sub.sort is INT:
+        if sub.kind is not Kind.CONST:
+            yield int_const(0)
+        for param in problem.synth_fun.params:
+            if param.sort is INT and param is not sub and param.size < sub.size:
+                yield param
+    if sub.kind is Kind.ITE:
+        yield sub.args[1]
+        yield sub.args[2]
+    elif len(sub.args) == 2 and sub.kind in (Kind.ADD, Kind.SUB):
+        for child in sub.args:
+            if child.sort is sub.sort:
+                yield child
+
+
+def minimize_solution(
+    problem: SygusProblem,
+    body: Term,
+    max_checks: int = 24,
+    deadline: Optional[float] = None,
+) -> Term:
+    """Shrink ``body`` while it keeps verifying against ``problem``.
+
+    Returns a body that verifies (the input is assumed to verify); when the
+    budget runs out the best-so-far is returned.
+    """
+    from repro.smt.solver import SolverBudgetExceeded
+
+    current = simplify(body)
+    checks_left = max_checks
+    grammar = problem.synth_fun.grammar
+    improved = True
+    while improved and checks_left > 0:
+        improved = False
+        # Largest subterms first: replacing them saves the most.
+        subs: List[Term] = sorted(
+            (s for s in subexpressions(current) if s is not current),
+            key=lambda t: -t.size,
+        )
+        for sub in subs:
+            if checks_left <= 0:
+                break
+            for replacement in _candidate_replacements(sub, problem):
+                if replacement.size >= sub.size:
+                    continue
+                candidate = simplify(substitute(current, {sub: replacement}))
+                if candidate.size >= current.size:
+                    continue
+                if not grammar.generates(candidate):
+                    continue
+                checks_left -= 1
+                try:
+                    ok, _ = problem.verify(candidate, deadline)
+                except SolverBudgetExceeded:
+                    return current
+                if ok:
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return current

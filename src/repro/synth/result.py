@@ -1,0 +1,45 @@
+"""Result and statistics types for synthesis runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sygus.problem import Solution
+
+
+@dataclass
+class SynthesisStats:
+    """Counters describing how a solution was (or was not) found."""
+
+    deduction_steps: int = 0
+    deduction_solved: bool = False
+    cegis_iterations: int = 0
+    heights_tried: int = 0
+    max_height_reached: int = 0
+    subproblems_created: int = 0
+    subproblems_solved: int = 0
+    smt_checks: int = 0
+
+    def merge(self, other: "SynthesisStats") -> None:
+        self.deduction_steps += other.deduction_steps
+        self.deduction_solved = self.deduction_solved or other.deduction_solved
+        self.cegis_iterations += other.cegis_iterations
+        self.heights_tried += other.heights_tried
+        self.max_height_reached = max(self.max_height_reached, other.max_height_reached)
+        self.subproblems_created += other.subproblems_created
+        self.subproblems_solved += other.subproblems_solved
+        self.smt_checks += other.smt_checks
+
+
+@dataclass
+class SynthesisOutcome:
+    """Outcome of a synthesis attempt."""
+
+    solution: Optional[Solution]
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+    timed_out: bool = False
+
+    @property
+    def solved(self) -> bool:
+        return self.solution is not None

@@ -1,0 +1,83 @@
+"""Structured tracing of cooperative synthesis runs.
+
+A :class:`SynthesisTrace` records what Algorithm 1 actually did — which
+problems were deduced, how they were divided, which heights were searched,
+where the solution came from — as a list of typed events.  Useful for
+debugging non-trivial runs, for the ``--trace`` CLI flag, and as the
+observable surface the test suite uses to assert *how* problems were solved
+(not just that they were).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a synthesis run."""
+
+    kind: str  # deduct | split | enum | solved | propagate | reject
+    problem: str
+    detail: str = ""
+    height: Optional[int] = None
+    elapsed: float = 0.0
+
+    def __str__(self) -> str:
+        height = f" h={self.height}" if self.height is not None else ""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.elapsed:8.3f}s] {self.kind:9s} {self.problem}{height}{detail}"
+
+
+class SynthesisTrace:
+    """An append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._start = time.monotonic()
+
+    def record(
+        self,
+        kind: str,
+        problem: str,
+        detail: str = "",
+        height: Optional[int] = None,
+    ) -> None:
+        self.events.append(
+            TraceEvent(kind, problem, detail, height, time.monotonic() - self._start)
+        )
+
+    # -- Queries ---------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def problems_deduced(self) -> List[str]:
+        return [event.problem for event in self.of_kind("deduct")]
+
+    def splits(self) -> Dict[str, List[str]]:
+        """Parent problem -> list of subproblem names it was split into."""
+        result: Dict[str, List[str]] = {}
+        for event in self.of_kind("split"):
+            result.setdefault(event.problem, []).append(event.detail)
+        return result
+
+    def heights_searched(self, problem: str) -> List[int]:
+        return [
+            event.height
+            for event in self.of_kind("enum")
+            if event.problem == problem and event.height is not None
+        ]
+
+    def solution_source(self) -> Optional[str]:
+        """How the source problem's solution was obtained, if solved."""
+        solved = self.of_kind("solved")
+        return solved[-1].detail if solved else None
+
+    def render(self) -> str:
+        return "\n".join(str(event) for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,53 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from repro.bench.make_report import generate_report
+from repro.bench.runner import RunResult
+
+
+def _r(bench, track, solver, solved, t, size=None, ded=False):
+    return RunResult(bench, track, solver, solved, t, size, None, False, ded)
+
+
+def _synthetic_results():
+    results = []
+    benches = [("b1", "CLIA"), ("b2", "CLIA"), ("b3", "INV"), ("b4", "General")]
+    for bench, track in benches:
+        results.append(_r(bench, track, "dryadsynth", True, 0.5, 6, ded=(bench == "b1")))
+        results.append(_r(bench, track, "cegqi", bench != "b4", 0.3, 50))
+        results.append(_r(bench, track, "eusolver", bench in ("b1", "b2"), 2.0, 4))
+        results.append(_r(bench, track, "loopinvgen", track == "INV", 0.1, 8))
+        results.append(_r(bench, track, "height-enum", bench != "b3", 1.0, 6))
+        results.append(_r(bench, track, "deduction", bench == "b1", 0.01, 6, ded=True))
+        results.append(_r(bench, track, "dryadsynth-euback", bench != "b3", 1.5, 6))
+    return results
+
+
+class TestGenerateReport:
+    def test_contains_every_figure_section(self):
+        text = generate_report(_synthetic_results(), timeout=10)
+        for artifact in (
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+            "Figure 13",
+            "Table 1",
+            "Figure 14",
+            "Figure 15",
+            "Figure 16",
+            "Uniquely solved",
+        ):
+            assert artifact in text, f"missing section for {artifact}"
+
+    def test_paper_claims_are_quoted(self):
+        text = generate_report(_synthetic_results(), timeout=10)
+        assert "32.6%" in text  # the Figure 15 deduction-share claim
+        assert "StarExec" in text
+
+    def test_counts_are_rendered(self):
+        text = generate_report(_synthetic_results(), timeout=10)
+        assert "dryadsynth" in text
+        assert "solved=" in text or "solved " in text
+
+    def test_empty_results_do_not_crash(self):
+        text = generate_report([], timeout=10)
+        assert "Figure 10" in text

@@ -1,0 +1,41 @@
+"""Tests for the ASCII plot renderers."""
+
+from repro.bench.plots import cactus_plot, scatter_plot
+
+
+class TestCactusPlot:
+    def test_renders_marks_and_legend(self):
+        series = {
+            "dryadsynth": [0.01, 0.1, 0.5, 2.0, 8.0],
+            "eusolver": [0.2, 4.0],
+        }
+        out = cactus_plot(series, title="cactus")
+        assert "cactus" in out
+        assert "dryadsynth" in out and "eusolver" in out
+        assert any(mark in out for mark in "ox")
+
+    def test_empty_series(self):
+        assert "no solved" in cactus_plot({"s": []})
+
+    def test_row_count_fixed(self):
+        out = cactus_plot({"a": [1.0, 2.0]}, width=30, height=10)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert len(rows) == 10
+        assert all(len(row) == 31 for row in rows)
+
+
+class TestScatterPlot:
+    def test_renders_points_and_diagonal(self):
+        points = [("b1", 0.1, 1.0), ("b2", 2.0, 0.5), ("b3", None, 3.0)]
+        out = scatter_plot(points, "coop", "enum", title="scatter")
+        assert "scatter" in out
+        assert "o" in out and "." in out
+        assert "coop" in out and "enum" in out
+
+    def test_unsolved_points_pinned_to_edge(self):
+        points = [("b", None, None)]
+        out = scatter_plot(points, "x", "y")
+        assert "no data" in out or "o" in out
+
+    def test_empty(self):
+        assert "no data" in scatter_plot([], "x", "y")

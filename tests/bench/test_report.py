@@ -1,0 +1,138 @@
+"""Tests for the figure/table aggregation functions."""
+
+from repro.bench.report import (
+    bucket_size,
+    bucket_time,
+    fig10_solved_by_track,
+    fig11_fastest_by_track,
+    fig12_time_vs_solved,
+    fig13_times_ascending,
+    fig14_coop_vs_enum,
+    fig15_deduction_ablation,
+    fig16_euback_comparison,
+    render_scatter,
+    render_solved_by_track,
+    render_table,
+    table1_solution_sizes,
+    unique_solves,
+)
+from repro.bench.runner import RunResult
+
+
+def _r(bench, track, solver, solved, t, size=None, ded=False):
+    return RunResult(bench, track, solver, solved, t, size, None, False, ded)
+
+
+RESULTS = [
+    _r("a", "CLIA", "dryadsynth", True, 0.5, 5, ded=True),
+    _r("a", "CLIA", "eusolver", True, 2.0, 4),
+    _r("a", "CLIA", "cegqi", True, 0.2, 40),
+    _r("b", "CLIA", "dryadsynth", True, 5.0, 9),
+    _r("b", "CLIA", "eusolver", False, 10.0),
+    _r("b", "CLIA", "cegqi", True, 6.0, 80),
+    _r("c", "INV", "dryadsynth", True, 1.5, 7),
+    _r("c", "INV", "eusolver", False, 10.0),
+    _r("c", "INV", "cegqi", False, 10.0),
+    _r("a", "CLIA", "height-enum", True, 3.0, 5),
+    _r("b", "CLIA", "height-enum", False, 10.0),
+    _r("c", "INV", "height-enum", True, 4.0, 7),
+    _r("a", "CLIA", "deduction", True, 0.1, 5, ded=True),
+    _r("b", "CLIA", "deduction", False, 0.1),
+    _r("c", "INV", "deduction", False, 0.1),
+    _r("a", "CLIA", "dryadsynth-euback", True, 1.0, 5),
+    _r("b", "CLIA", "dryadsynth-euback", False, 10.0),
+    _r("c", "INV", "dryadsynth-euback", True, 3.0, 7),
+]
+
+
+class TestBuckets:
+    def test_time_buckets_are_monotone(self):
+        assert bucket_time(0.5) == 0
+        assert bucket_time(1.5) == 1
+        assert bucket_time(5) == 2
+        assert bucket_time(2000) == 8
+
+    def test_size_buckets(self):
+        assert bucket_size(5) == 0
+        assert bucket_size(10) == 1
+        assert bucket_size(5000) == 5
+
+
+class TestFig10:
+    def test_counts(self):
+        table = fig10_solved_by_track(RESULTS)
+        assert table["dryadsynth"] == {"INV": 1, "CLIA": 2, "General": 0}
+        assert table["eusolver"] == {"INV": 0, "CLIA": 1, "General": 0}
+
+    def test_render(self):
+        rendered = render_solved_by_track(fig10_solved_by_track(RESULTS), "t")
+        assert "dryadsynth" in rendered and "total" in rendered
+
+
+class TestFig11:
+    def test_bucket_ties_shared(self):
+        table = fig11_fastest_by_track(RESULTS)
+        # On benchmark a: cegqi (0.2) and dryadsynth (0.5) share bucket 0.
+        assert table["cegqi"]["CLIA"] >= 1
+        assert table["dryadsynth"]["CLIA"] >= 1
+        assert table["eusolver"]["CLIA"] == 0
+
+
+class TestFig12Fig13:
+    def test_cumulative_curve(self):
+        curves = fig12_time_vs_solved(RESULTS, track="CLIA")
+        assert curves["dryadsynth"] == [(1, 0.5), (2, 5.5)]
+
+    def test_ascending_times(self):
+        series = fig13_times_ascending(RESULTS, track="CLIA")
+        assert series["dryadsynth"] == [0.5, 5.0]
+        assert series["eusolver"] == [2.0]
+
+
+class TestTable1:
+    def test_smallest_and_median(self):
+        table = table1_solution_sizes(RESULTS)
+        clia = table["CLIA"]
+        # Common benchmarks for all CLIA-solving solvers: only "a".
+        assert clia["eusolver"]["smallest"] == 1  # size 4, bucket 0
+        assert clia["cegqi"]["smallest"] == 0  # size 40, bucket 2
+        assert clia["cegqi"]["median_size"] == 40
+
+
+class TestAblations:
+    def test_fig14_pairs(self):
+        points = fig14_coop_vs_enum(RESULTS)
+        by_name = {p[0]: p for p in points}
+        assert by_name["b"] == ("b", 5.0, None)
+        assert by_name["a"] == ("a", 0.5, 3.0)
+
+    def test_fig15_counts(self):
+        table = fig15_deduction_ablation(RESULTS)
+        assert table["CLIA"] == {"deduct": 1, "coop_extra": 1}
+        assert table["INV"] == {"deduct": 0, "coop_extra": 1}
+
+    def test_fig16_excludes_deduction_solved(self):
+        points = fig16_euback_comparison(RESULTS)
+        names = [p[0] for p in points]
+        assert "a" not in names  # solved by pure deduction
+        assert set(names) == {"b", "c"}
+
+    def test_unique_solves(self):
+        uniques = unique_solves(RESULTS)
+        assert uniques.get("dryadsynth") is None or "b" not in uniques.get(
+            "dryadsynth", []
+        )
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 22], [333, 4]], "title")
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert all("|" in line for line in lines[1:] if "-" not in line)
+
+    def test_render_scatter_winner_column(self):
+        out = render_scatter(
+            [("x", 1.0, 2.0), ("y", None, 3.0)], "coop", "enum", "t"
+        )
+        assert "coop" in out and "enum" in out

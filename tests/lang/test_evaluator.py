@@ -1,0 +1,150 @@
+"""Tests for concrete evaluation, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    EvaluationError,
+    evaluate,
+    add,
+    and_,
+    apply_fn,
+    eq,
+    ge,
+    gt,
+    implies,
+    int_const,
+    int_var,
+    ite,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    sub,
+    bool_var,
+)
+from repro.lang.sorts import INT
+
+
+class TestBasicSemantics:
+    def test_constant(self):
+        assert evaluate(int_const(5), {}) == 5
+
+    def test_variable(self):
+        assert evaluate(int_var("x"), {"x": -3}) == -3
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(int_var("x"), {})
+
+    def test_arithmetic(self):
+        x = int_var("x")
+        env = {"x": 10}
+        assert evaluate(add(x, x, 1), env) == 21
+        assert evaluate(sub(x, 3), env) == 7
+        assert evaluate(neg(x), env) == -10
+        assert evaluate(mul(3, x), env) == 30
+
+    def test_comparisons(self):
+        x = int_var("x")
+        env = {"x": 2}
+        assert evaluate(ge(x, 2), env) is True
+        assert evaluate(gt(x, 2), env) is False
+        assert evaluate(le(x, 2), env) is True
+        assert evaluate(lt(x, 2), env) is False
+        assert evaluate(eq(x, 2), env) is True
+
+    def test_connectives(self):
+        p, q = bool_var("p"), bool_var("q")
+        env = {"p": True, "q": False}
+        assert evaluate(and_(p, q), env) is False
+        assert evaluate(or_(p, q), env) is True
+        assert evaluate(not_(q), env) is True
+        assert evaluate(implies(p, q), env) is False
+        assert evaluate(implies(q, p), env) is True
+
+    def test_ite(self):
+        x = int_var("x")
+        term = ite(ge(x, 0), x, sub(0, x))  # |x|
+        assert evaluate(term, {"x": -7}) == 7
+        assert evaluate(term, {"x": 7}) == 7
+
+    def test_short_circuit_does_not_eval_dead_branch(self):
+        # The dead branch references an unbound variable.
+        x = int_var("x")
+        term = ite(ge(x, 0), x, int_var("unbound"))
+        assert evaluate(term, {"x": 1}) == 1
+
+
+class TestFunctionApplication:
+    def test_interpreted_function(self):
+        x1, x2 = int_var("x1"), int_var("x2")
+        qm_body = ite(lt(x1, 0), x2, x1)
+        funcs = {"qm": ((x1, x2), qm_body)}
+        call = apply_fn("qm", [int_const(-1), int_const(9)], INT)
+        assert evaluate(call, {}, funcs) == 9
+
+    def test_nested_application(self):
+        x1 = int_var("x1")
+        funcs = {"double": ((x1,), add(x1, x1))}
+        call = apply_fn("double", [apply_fn("double", [int_var("x")], INT)], INT)
+        assert evaluate(call, {"x": 3}, funcs) == 12
+
+    def test_undefined_function_raises(self):
+        call = apply_fn("mystery", [int_const(0)], INT)
+        with pytest.raises(EvaluationError):
+            evaluate(call, {})
+
+    def test_arity_mismatch_raises(self):
+        x1 = int_var("x1")
+        funcs = {"id": ((x1,), x1)}
+        call = apply_fn("id", [int_const(0), int_const(1)], INT)
+        with pytest.raises(EvaluationError):
+            evaluate(call, {}, funcs)
+
+    def test_function_params_shadow_outer_env(self):
+        x = int_var("x")
+        funcs = {"id": ((x,), x)}
+        call = apply_fn("id", [int_const(42)], INT)
+        assert evaluate(call, {"x": 0}, funcs) == 42
+
+
+# -- Property-based: evaluator agrees with a direct Python interpretation ----
+
+_ints = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def _int_term_and_python(draw, depth=3):
+    """Build a random Int term together with a Python lambda mirroring it."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            value = draw(_ints)
+            return int_const(value), (lambda env, v=value: v)
+        name = draw(st.sampled_from(["a", "b"]))
+        return int_var(name), (lambda env, n=name: env[n])
+    op = draw(st.sampled_from(["add", "sub", "neg", "ite"]))
+    left, lf = draw(_int_term_and_python(depth=depth - 1))
+    if op == "neg":
+        return neg(left), (lambda env: -lf(env))
+    right, rf = draw(_int_term_and_python(depth=depth - 1))
+    if op == "add":
+        return add(left, right), (lambda env: lf(env) + rf(env))
+    if op == "sub":
+        return sub(left, right), (lambda env: lf(env) - rf(env))
+    celse, cf = draw(_int_term_and_python(depth=depth - 1))
+    return (
+        ite(ge(left, right), left, celse),
+        (lambda env: lf(env) if lf(env) >= rf(env) else cf(env)),
+    )
+
+
+@given(_int_term_and_python(), _ints, _ints)
+@settings(max_examples=200, deadline=None)
+def test_evaluator_matches_python_semantics(pair, a, b):
+    term, python_fn = pair
+    env = {"a": a, "b": b}
+    assert evaluate(term, env) == python_fn(env)

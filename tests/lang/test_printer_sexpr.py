@@ -1,0 +1,92 @@
+"""Tests for s-expression printing and reading."""
+
+import pytest
+
+from repro.lang import (
+    SExprError,
+    add,
+    and_,
+    apply_fn,
+    bool_const,
+    ge,
+    int_const,
+    int_var,
+    ite,
+    not_,
+    parse_all_sexprs,
+    parse_sexpr,
+    sub,
+    to_sexpr,
+)
+from repro.lang.printer import define_fun_sexpr
+from repro.lang.sorts import INT
+
+
+class TestPrinter:
+    def test_constants(self):
+        assert to_sexpr(int_const(5)) == "5"
+        assert to_sexpr(int_const(-5)) == "(- 5)"
+        assert to_sexpr(bool_const(True)) == "true"
+        assert to_sexpr(bool_const(False)) == "false"
+
+    def test_operators(self):
+        x, y = int_var("x"), int_var("y")
+        assert to_sexpr(add(x, y)) == "(+ x y)"
+        assert to_sexpr(sub(x, y)) == "(- x y)"
+        assert to_sexpr(ge(x, y)) == "(>= x y)"
+        assert to_sexpr(not_(ge(x, y))) == "(not (>= x y))"
+        assert to_sexpr(ite(ge(x, y), x, y)) == "(ite (>= x y) x y)"
+
+    def test_application(self):
+        x = int_var("x")
+        assert to_sexpr(apply_fn("qm", [x, int_const(0)], INT)) == "(qm x 0)"
+
+    def test_define_fun(self):
+        x, y = int_var("x"), int_var("y")
+        rendered = define_fun_sexpr("max2", (x, y), INT, ite(ge(x, y), x, y))
+        assert rendered == (
+            "(define-fun max2 ((x Int) (y Int)) Int (ite (>= x y) x y))"
+        )
+
+
+class TestSExprReader:
+    def test_atom(self):
+        assert parse_sexpr("foo") == "foo"
+
+    def test_nested_lists(self):
+        assert parse_sexpr("(+ x (- y 1))") == ["+", "x", ["-", "y", "1"]]
+
+    def test_comments_ignored(self):
+        text = "; a comment\n(+ 1 2) ; trailing\n"
+        assert parse_all_sexprs(text) == [["+", "1", "2"]]
+
+    def test_multiple_expressions(self):
+        assert parse_all_sexprs("(a) (b c)") == [["a"], ["b", "c"]]
+
+    def test_string_literals(self):
+        assert parse_sexpr('(set-info :source "my bench")') == [
+            "set-info",
+            ":source",
+            '"my bench"',
+        ]
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(SExprError):
+            parse_sexpr("(a (b)")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(SExprError):
+            parse_sexpr("(a) b")
+
+    def test_stray_close_raises(self):
+        with pytest.raises(SExprError):
+            parse_sexpr(") a")
+
+
+class TestRoundTrip:
+    def test_print_then_parse_structure(self):
+        x, y = int_var("x"), int_var("y")
+        term = ite(and_(ge(x, 0), ge(y, 0)), add(x, y), sub(x, y))
+        parsed = parse_sexpr(to_sexpr(term))
+        assert parsed[0] == "ite"
+        assert parsed[1][0] == "and"

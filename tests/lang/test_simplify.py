@@ -1,0 +1,143 @@
+"""Tests for the simplifier, including the semantics-preservation property."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    add,
+    and_,
+    bool_const,
+    bool_var,
+    eq,
+    evaluate,
+    ge,
+    implies,
+    int_const,
+    int_var,
+    ite,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    simplify,
+    sub,
+)
+
+
+class TestArithmeticSimplification:
+    def test_constant_folding(self):
+        assert simplify(add(int_const(2), int_const(3))) is int_const(5)
+        assert simplify(sub(int_const(2), int_const(3))) is int_const(-1)
+        assert simplify(mul(int_const(4), int_const(-2))) is int_const(-8)
+
+    def test_neutral_elements(self):
+        x = int_var("x")
+        assert simplify(add(x, 0)) is x
+        assert simplify(sub(x, 0)) is x
+        assert simplify(mul(1, x)) is x
+        assert simplify(mul(x, 0)) is int_const(0)
+
+    def test_self_subtraction(self):
+        x = int_var("x")
+        assert simplify(sub(x, x)) is int_const(0)
+
+    def test_double_negation(self):
+        x = int_var("x")
+        assert simplify(neg(neg(x))) is x
+
+
+class TestBooleanSimplification:
+    def test_comparison_folding(self):
+        assert simplify(ge(int_const(3), int_const(2))) is bool_const(True)
+        assert simplify(lt(int_const(3), int_const(2))) is bool_const(False)
+
+    def test_reflexive_comparisons(self):
+        x = int_var("x")
+        assert simplify(ge(x, x)) is bool_const(True)
+        assert simplify(lt(x, x)) is bool_const(False)
+        assert simplify(eq(x, x)) is bool_const(True)
+
+    def test_and_absorbs(self):
+        p = bool_var("p")
+        assert simplify(and_(p, bool_const(True))) is p
+        assert simplify(and_(p, bool_const(False))) is bool_const(False)
+        assert simplify(and_(p, not_(p))) is bool_const(False)
+
+    def test_or_absorbs(self):
+        p = bool_var("p")
+        assert simplify(or_(p, bool_const(False))) is p
+        assert simplify(or_(p, bool_const(True))) is bool_const(True)
+        assert simplify(or_(p, not_(p))) is bool_const(True)
+
+    def test_dedup(self):
+        p, q = bool_var("p"), bool_var("q")
+        assert simplify(and_(p, q, p)) is and_(p, q)
+
+    def test_implication_cases(self):
+        p = bool_var("p")
+        assert simplify(implies(bool_const(True), p)) is p
+        assert simplify(implies(bool_const(False), p)) is bool_const(True)
+        assert simplify(implies(p, bool_const(False))) is not_(p)
+        assert simplify(implies(p, p)) is bool_const(True)
+
+    def test_ite_collapse(self):
+        x, y = int_var("x"), int_var("y")
+        p = bool_var("p")
+        assert simplify(ite(bool_const(True), x, y)) is x
+        assert simplify(ite(bool_const(False), x, y)) is y
+        assert simplify(ite(p, x, x)) is x
+
+    def test_nested_folding(self):
+        x = int_var("x")
+        term = ite(ge(int_const(1), int_const(0)), add(x, 0), int_const(99))
+        assert simplify(term) is x
+
+
+# -- Property: simplify preserves semantics -----------------------------------
+
+_ints = st.integers(min_value=-20, max_value=20)
+
+
+@st.composite
+def _bool_terms(draw, depth=3):
+    x, y = int_var("a"), int_var("b")
+    if depth == 0:
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            return ge(add(x, draw(_ints)), y)
+        if kind == 1:
+            return eq(x, draw(_ints))
+        return bool_const(draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "not", "implies", "ite"]))
+    s1 = draw(_bool_terms(depth=depth - 1))
+    if op == "not":
+        return not_(s1)
+    s2 = draw(_bool_terms(depth=depth - 1))
+    if op == "and":
+        return and_(s1, s2)
+    if op == "or":
+        return or_(s1, s2)
+    if op == "implies":
+        return implies(s1, s2)
+    s3 = draw(_bool_terms(depth=depth - 1))
+    return ite(s1, s2, s3)
+
+
+@given(_bool_terms(), _ints, _ints)
+@settings(max_examples=300, deadline=None)
+def test_simplify_preserves_boolean_semantics(term, a, b):
+    env = {"a": a, "b": b}
+    assert evaluate(simplify(term), env) == evaluate(term, env)
+
+
+@given(_bool_terms())
+@settings(max_examples=100, deadline=None)
+def test_simplify_never_grows(term):
+    assert simplify(term).size <= term.size
+
+
+@given(_bool_terms())
+@settings(max_examples=100, deadline=None)
+def test_simplify_is_idempotent(term):
+    once = simplify(term)
+    assert simplify(once) is once

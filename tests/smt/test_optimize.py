@@ -1,0 +1,66 @@
+"""Tests for the OMT-lite objective minimisation layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import add, and_, eq, ge, int_var, le, sub
+from repro.smt.optimize import Unsatisfiable, minimize_objective
+
+x, y = int_var("x"), int_var("y")
+
+
+class TestMinimizeObjective:
+    def test_simple_lower_bound(self):
+        value, model = minimize_objective(and_(ge(x, 5), le(x, 100)), x)
+        assert value == 5
+        assert model["x"] == 5
+
+    def test_interacting_constraints(self):
+        # minimise x + y subject to x >= 3, y >= x + 2.
+        formula = and_(ge(x, 3), ge(y, add(x, 2)))
+        value, model = minimize_objective(formula, add(x, y))
+        assert value == 8
+        assert model["x"] == 3 and model["y"] == 5
+
+    def test_objective_already_fixed(self):
+        value, _ = minimize_objective(eq(x, 42), x)
+        assert value == 42
+
+    def test_negative_optima(self):
+        value, model = minimize_objective(and_(ge(x, -17), le(x, 9)), x)
+        assert value == -17
+
+    def test_unsat_raises(self):
+        with pytest.raises(Unsatisfiable):
+            minimize_objective(and_(ge(x, 1), le(x, 0)), x)
+
+    def test_unbounded_objective_returns_some_model(self):
+        # x is unbounded below: budget-bounded descent must terminate and
+        # return a genuine model.
+        value, model = minimize_objective(le(x, 100), x, max_checks=8)
+        assert model["x"] == value
+        assert value <= 100
+
+    def test_budget_zero_returns_first_model(self):
+        value, model = minimize_objective(and_(ge(x, 2), le(x, 50)), x, max_checks=0)
+        assert 2 <= value <= 50
+
+
+@given(st.integers(-30, 30), st.integers(0, 25))
+@settings(max_examples=40, deadline=None)
+def test_minimum_of_interval_is_found(lo, width):
+    formula = and_(ge(x, lo), le(x, lo + width))
+    value, model = minimize_objective(formula, x)
+    assert value == lo
+    assert model["x"] == lo
+
+
+@given(st.integers(-10, 10), st.integers(-10, 10))
+@settings(max_examples=40, deadline=None)
+def test_difference_objective(a, b):
+    lo = min(a, b)
+    hi = max(a, b)
+    # minimise x - y with x in [lo, hi], y in [lo, hi]: optimum lo - hi.
+    formula = and_(ge(x, lo), le(x, hi), ge(y, lo), le(y, hi))
+    value, _ = minimize_objective(formula, sub(x, y))
+    assert value == lo - hi

@@ -1,0 +1,135 @@
+"""Tests for the CDCL SAT solver, including random-CNF cross-checks."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SatSolver, luby
+
+
+def _brute_force_sat(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return True
+    return False
+
+
+def _model_satisfies(model, clauses):
+    return all(any(model[abs(l)] == (l > 0) for l in clause) for clause in clauses)
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve() == {}
+
+    def test_unit_clause(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        model = solver.solve()
+        assert model[1] is True
+
+    def test_contradictory_units(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        assert solver.add_clause([-1]) is False
+        assert solver.solve() is None
+
+    def test_simple_sat(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        model = solver.solve()
+        assert model[2] is True
+
+    def test_simple_unsat(self):
+        solver = SatSolver()
+        for clause in ([1, 2], [1, -2], [-1, 2], [-1, -2]):
+            solver.add_clause(clause)
+        assert solver.solve() is None
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve() is not None
+
+    def test_duplicate_literals_collapsed(self):
+        solver = SatSolver()
+        solver.add_clause([1, 1, 1])
+        model = solver.solve()
+        assert model[1] is True
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2, 3])
+        assert solver.solve() is not None
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        model = solver.solve()
+        assert model is not None and model[3] is True
+        solver.add_clause([-3])
+        assert solver.solve() is None
+
+
+class TestPigeonhole:
+    def test_php_3_into_2_is_unsat(self):
+        # Pigeon p in hole h is variable 2*(p-1) + h, p in 1..3, h in 1..2.
+        def var(p, h):
+            return 2 * (p - 1) + h
+
+        solver = SatSolver()
+        for p in (1, 2, 3):
+            solver.add_clause([var(p, 1), var(p, 2)])
+        for h in (1, 2):
+            for p1, p2 in itertools.combinations((1, 2, 3), 2):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve() is None
+
+    def test_php_3_into_3_is_sat(self):
+        def var(p, h):
+            return 3 * (p - 1) + h
+
+        solver = SatSolver()
+        for p in (1, 2, 3):
+            solver.add_clause([var(p, h) for h in (1, 2, 3)])
+        for h in (1, 2, 3):
+            for p1, p2 in itertools.combinations((1, 2, 3), 2):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve() is not None
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+_clause = st.lists(
+    st.integers(min_value=1, max_value=6).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(st.lists(_clause, min_size=1, max_size=25))
+@settings(max_examples=300, deadline=None)
+def test_cdcl_agrees_with_brute_force(clauses):
+    num_vars = 6
+    solver = SatSolver()
+    trivially_unsat = False
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            trivially_unsat = True
+    model = None if trivially_unsat else solver.solve()
+    expected = _brute_force_sat(clauses, num_vars)
+    if expected:
+        assert model is not None
+        padded = {v: model.get(v, False) for v in range(1, num_vars + 1)}
+        assert _model_satisfies(padded, clauses)
+    else:
+        assert model is None

@@ -1,0 +1,94 @@
+"""Property-based simplex tests with feasibility known by construction.
+
+Rather than trusting an external (floating-point) LP oracle, instances are
+built around a known witness point: constraints generated to hold at the
+witness give feasible systems; appending an explicit contradiction gives
+infeasible ones.  The exact simplex must agree in both directions, and its
+conflict explanations must themselves be infeasible.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.simplex import Bound, Conflict, Simplex
+
+_point = st.lists(st.integers(-8, 8), min_size=3, max_size=3)
+_row = st.lists(st.integers(-4, 4), min_size=3, max_size=3)
+
+
+def _build(rows, witness, slacks):
+    """Assert `row . x >= row . witness - slack` for each row: feasible at
+    the witness by construction."""
+    simplex = Simplex()
+    xs = [simplex.new_var() for _ in range(3)]
+    for var, value in zip(xs, witness):
+        simplex.assert_bound(Bound(var, True, Fraction(value - 20), f"lo{var}"))
+        simplex.assert_bound(Bound(var, False, Fraction(value + 20), f"hi{var}"))
+    for index, (row, slack) in enumerate(zip(rows, slacks)):
+        if not any(row):
+            continue
+        combo = {x: Fraction(c) for x, c in zip(xs, row) if c != 0}
+        s = simplex.new_slack(combo)
+        threshold = sum(c * v for c, v in zip(row, witness)) - slack
+        simplex.assert_bound(Bound(s, True, Fraction(threshold), f"c{index}"))
+    return simplex, xs
+
+
+@given(
+    _point,
+    st.lists(_row, min_size=1, max_size=5),
+    st.lists(st.integers(0, 5), min_size=5, max_size=5),
+)
+@settings(max_examples=150, deadline=None)
+def test_constructed_feasible_systems_are_feasible(witness, rows, slacks):
+    simplex, xs = _build(rows, witness, slacks)
+    assert simplex.check()
+    # The assignment satisfies every asserted original-variable bound.
+    for var, value in zip(xs, witness):
+        assert Fraction(value - 20) <= simplex.value(var) <= Fraction(value + 20)
+
+
+@given(
+    _point,
+    st.lists(_row, min_size=1, max_size=4),
+    st.lists(st.integers(0, 5), min_size=4, max_size=4),
+)
+@settings(max_examples=150, deadline=None)
+def test_contradiction_is_always_detected(witness, rows, slacks):
+    simplex, xs = _build(rows, witness, slacks)
+    # x0 >= 100 contradicts the box x0 <= witness + 20 <= 28.
+    try:
+        simplex.assert_bound(Bound(xs[0], True, Fraction(100), "contra"))
+        feasible = simplex.check()
+    except Conflict as conflict:
+        tags = {bound.tag for bound in conflict.bounds}
+        assert "contra" in tags
+        return
+    assert not feasible, "the contradiction must be noticed"
+
+
+@given(
+    _point,
+    st.lists(_row, min_size=2, max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_solution_satisfies_all_slack_constraints(witness, rows):
+    simplex = Simplex()
+    xs = [simplex.new_var() for _ in range(3)]
+    thresholds = []
+    slack_vars = []
+    for index, row in enumerate(rows):
+        if not any(row):
+            continue
+        combo = {x: Fraction(c) for x, c in zip(xs, row) if c != 0}
+        s = simplex.new_slack(combo)
+        threshold = sum(c * v for c, v in zip(row, witness))
+        simplex.assert_bound(Bound(s, True, Fraction(threshold), f"c{index}"))
+        thresholds.append((row, threshold))
+        slack_vars.append(s)
+    assert simplex.check()
+    values = [simplex.value(x) for x in xs]
+    for row, threshold in thresholds:
+        total = sum(Fraction(c) * v for c, v in zip(row, values))
+        assert total >= threshold

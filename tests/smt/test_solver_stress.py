@@ -1,0 +1,170 @@
+"""Stress and corner-case tests for the SMT substrate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (
+    add,
+    and_,
+    bool_var,
+    eq,
+    evaluate,
+    ge,
+    implies,
+    int_const,
+    int_var,
+    ite,
+    le,
+    lt,
+    mul,
+    not_,
+    or_,
+    sub,
+)
+from repro.smt import SmtSolver, Status, check_sat, is_valid
+
+x, y, z = int_var("x"), int_var("y"), int_var("z")
+
+
+class TestThreeVariableSystems:
+    def test_transitive_chains(self):
+        # x < y < z < x is unsat.
+        assert check_sat(and_(lt(x, y), lt(y, z), lt(z, x))).is_unsat
+
+    def test_long_equality_chain(self):
+        variables = [int_var(f"v{i}") for i in range(12)]
+        chain = and_(
+            *(eq(variables[i + 1], add(variables[i], 1)) for i in range(11)),
+            eq(variables[0], 0),
+        )
+        result = check_sat(chain)
+        assert result.is_sat
+        assert result.model["v11"] == 11
+
+    def test_dense_difference_constraints(self):
+        random.seed(7)
+        variables = [int_var(f"d{i}") for i in range(6)]
+        parts = []
+        for _ in range(14):
+            a, b = random.sample(range(6), 2)
+            parts.append(le(sub(variables[a], variables[b]), random.randint(-2, 6)))
+        result = check_sat(and_(*parts))
+        if result.is_sat:
+            assert evaluate(and_(*parts), result.model)
+
+    def test_big_coefficients(self):
+        formula = and_(
+            eq(add(mul(1000, x), mul(999, y)), 1),
+            ge(x, -10**6),
+            le(x, 10**6),
+        )
+        result = check_sat(formula)
+        assert result.is_sat
+        assert 1000 * result.model["x"] + 999 * result.model["y"] == 1
+
+    def test_parity_style_unsat(self):
+        # 2x + 4y = 3 has no integer solutions.
+        assert check_sat(eq(add(mul(2, x), mul(4, y)), 3)).is_unsat
+
+    def test_deep_boolean_structure(self):
+        ps = [bool_var(f"p{i}") for i in range(8)]
+        xor_chain = ps[0]
+        for p in ps[1:]:
+            xor_chain = or_(and_(xor_chain, not_(p)), and_(not_(xor_chain), p))
+        result = check_sat(and_(xor_chain, *(implies(p, ge(x, 1)) for p in ps)))
+        assert result.is_sat
+
+
+class TestValiditiesOverCLIA:
+    def test_max_is_commutative(self):
+        max_xy = ite(ge(x, y), x, y)
+        max_yx = ite(ge(y, x), y, x)
+        assert is_valid(eq(max_xy, max_yx))[0]
+
+    def test_max_is_associative(self):
+        def maximum(a, b):
+            return ite(ge(a, b), a, b)
+
+        left = maximum(maximum(x, y), z)
+        right = maximum(x, maximum(y, z))
+        assert is_valid(eq(left, right))[0]
+
+    def test_triangle_inequality_for_abs(self):
+        def absolute(a):
+            return ite(ge(a, 0), a, sub(0, a))
+
+        lhs = absolute(add(x, y))
+        rhs = add(absolute(x), absolute(y))
+        assert is_valid(le(lhs, rhs))[0]
+
+    def test_non_theorem_has_counterexample(self):
+        valid, cex = is_valid(eq(sub(x, y), sub(y, x)))
+        assert not valid
+        assert cex["x"] != cex["y"]
+
+
+class TestIncrementalStress:
+    def test_many_incremental_additions(self):
+        solver = SmtSolver()
+        for i in range(30):
+            solver.add(ge(x, i))
+            result = solver.solve()
+            assert result.is_sat
+            assert result.model["x"] >= i
+        solver.add(le(x, 10))
+        assert solver.solve().is_unsat
+
+
+# -- Randomised 3-variable cross-check -------------------------------------------
+
+_coef = st.integers(min_value=-3, max_value=3)
+
+
+@st.composite
+def _three_var_formula(draw):
+    def atom():
+        lhs = add(
+            mul(draw(_coef), x), mul(draw(_coef), y), mul(draw(_coef), z),
+            draw(st.integers(-6, 6)),
+        )
+        op = draw(st.sampled_from([ge, le, eq, lt]))
+        return op(lhs, int_const(0))
+
+    parts = [atom() for _ in range(draw(st.integers(2, 4)))]
+    shape = draw(st.sampled_from(["and", "or", "mix"]))
+    if shape == "and":
+        return and_(*parts)
+    if shape == "or":
+        return or_(*parts)
+    return and_(or_(*parts[:2]), *parts[2:])
+
+
+def _brute3(formula, radius=5):
+    for a in range(-radius, radius + 1):
+        for b in range(-radius, radius + 1):
+            for c in range(-radius, radius + 1):
+                if evaluate(formula, {"x": a, "y": b, "z": c}):
+                    return True
+    return False
+
+
+@given(_three_var_formula())
+@settings(max_examples=80, deadline=None)
+def test_three_variable_agreement(formula):
+    from hypothesis import assume
+
+    from repro.smt import SolverBudgetExceeded
+
+    solver = SmtSolver(lia_node_budget=3000)
+    try:
+        result = solver.check(formula)
+    except SolverBudgetExceeded:
+        assume(False)  # skip adversarially slow instances
+        return
+    if result.is_sat:
+        env = {"x": 0, "y": 0, "z": 0}
+        env.update(result.model)
+        assert evaluate(formula, env)
+    else:
+        assert not _brute3(formula)

@@ -1,0 +1,152 @@
+"""Tests for SyGuS problem objects and invariant problems."""
+
+from repro.lang import (
+    add,
+    and_,
+    eq,
+    ge,
+    implies,
+    int_var,
+    ite,
+    lt,
+    not_,
+    or_,
+    sub,
+)
+from repro.lang.sorts import BOOL, INT
+from repro.sygus.grammar import clia_grammar, qm_grammar
+from repro.sygus.problem import InvariantProblem, Solution, SygusProblem, SynthFun
+
+x, y = int_var("x"), int_var("y")
+
+
+def _max2_problem():
+    fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+    fx = fun.apply((x, y))
+    spec = and_(ge(fx, x), ge(fx, y), or_(eq(fx, x), eq(fx, y)))
+    return SygusProblem(fun, spec, (x, y), track="CLIA", name="max2")
+
+
+class TestSygusProblem:
+    def test_invocations(self):
+        problem = _max2_problem()
+        assert len(problem.invocations()) == 1
+        assert problem.is_single_invocation()
+
+    def test_multi_invocation_detection(self):
+        fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+        spec = eq(fun.apply((x, y)), fun.apply((y, x)))
+        problem = SygusProblem(fun, spec, (x, y))
+        assert not problem.is_single_invocation()
+
+    def test_instantiate(self):
+        problem = _max2_problem()
+        body = ite(ge(x, y), x, y)
+        instantiated = problem.instantiate(body)
+        from repro.lang.traversal import contains_app
+
+        assert not contains_app(instantiated, "f")
+
+    def test_spec_holds_concrete(self):
+        problem = _max2_problem()
+        good = ite(ge(x, y), x, y)
+        bad = x
+        assert problem.spec_holds(good, {"x": 1, "y": 5})
+        assert not problem.spec_holds(bad, {"x": 1, "y": 5})
+
+    def test_verify_accepts_correct_solution(self):
+        problem = _max2_problem()
+        ok, cex = problem.verify(ite(ge(x, y), x, y))
+        assert ok and cex is None
+
+    def test_verify_rejects_with_counterexample(self):
+        problem = _max2_problem()
+        ok, cex = problem.verify(x)
+        assert not ok
+        assert cex["y"] > cex["x"]
+        assert set(cex) >= {"x", "y"}
+
+    def test_verify_inlines_interpreted_functions(self):
+        from repro.lang import apply_fn
+
+        fun = SynthFun("f", (x, y), INT, qm_grammar((x, y)))
+        fx = fun.apply((x, y))
+        spec = eq(fx, ite(ge(x, y), x, y))
+        problem = SygusProblem(fun, spec, (x, y))
+        body = add(x, apply_fn("qm", (sub(y, x), 0), INT))
+        ok, _ = problem.verify(body)
+        assert ok
+
+    def test_with_spec_preserves_identity_fields(self):
+        problem = _max2_problem()
+        derived = problem.with_spec(ge(fun_apply(problem), x), "/sub")
+        assert derived.name == "max2/sub"
+        assert derived.synth_fun is problem.synth_fun
+
+
+def fun_apply(problem):
+    return problem.synth_fun.apply(problem.synth_fun.params)
+
+
+class TestSolution:
+    def test_metrics_and_rendering(self):
+        problem = _max2_problem()
+        body = ite(ge(x, y), x, y)
+        solution = Solution(problem, body, engine="test", time_seconds=0.5)
+        assert solution.size == 6
+        assert solution.height == 3
+        assert solution.define_fun() == (
+            "(define-fun f ((x Int) (y Int)) Int (ite (>= x y) x y))"
+        )
+
+
+class TestInvariantProblem:
+    def test_from_updates_builds_relational_trans(self):
+        inv = InvariantProblem.from_updates(
+            (x,),
+            eq(x, 0),
+            (add(x, 1),),
+            ge(x, 0),
+        )
+        primed = InvariantProblem.primed(x)
+        assert inv.trans is eq(primed, add(x, 1))
+
+    def test_to_sygus_structure(self):
+        inv = InvariantProblem.from_updates(
+            (x,),
+            eq(x, 0),
+            (ite(lt(x, 10), add(x, 1), x),),
+            implies(not_(lt(x, 10)), eq(x, 10)),
+        )
+        problem = inv.to_sygus()
+        assert problem.track == "INV"
+        assert problem.synth_fun.return_sort is BOOL
+        assert problem.invariant is inv
+        assert len(problem.invocations()) == 2  # inv(x) and inv(x!)
+
+    def test_good_invariant_verifies(self):
+        from repro.lang import le
+
+        inv = InvariantProblem.from_updates(
+            (x,),
+            eq(x, 0),
+            (ite(lt(x, 10), add(x, 1), x),),
+            implies(not_(lt(x, 10)), eq(x, 10)),
+        )
+        problem = inv.to_sygus()
+        # A precise invariant: 0 <= x <= 10.
+        ok, _ = problem.verify(and_(ge(x, 0), le(x, 10)))
+        assert ok
+
+    def test_bad_invariant_rejected(self):
+        from repro.lang import le
+
+        inv = InvariantProblem.from_updates(
+            (x,),
+            eq(x, 0),
+            (ite(lt(x, 10), add(x, 1), x),),
+            implies(not_(lt(x, 10)), eq(x, 10)),
+        )
+        problem = inv.to_sygus()
+        ok, cex = problem.verify(le(x, 100))  # not strong enough for post
+        assert not ok and cex is not None

@@ -1,0 +1,92 @@
+"""Round-trip tests: problem -> SyGuS-IF text -> parsed problem."""
+
+import os
+
+import pytest
+
+from repro.bench.suite import full_suite, find_benchmark
+from repro.sygus.parser import parse_sygus_text
+from repro.sygus.serializer import export_suite, problem_to_sygus
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name",
+        ["max2", "max3", "abs", "clamp", "array_search_2", "linear-comb"],
+    )
+    def test_clia_benchmarks_round_trip_spec(self, name):
+        problem = find_benchmark(name).problem()
+        text = problem_to_sygus(problem)
+        reparsed = parse_sygus_text(text, name=name)
+        # Hash-consing makes structural equality a pointer check.
+        assert reparsed.spec is problem.spec
+        assert reparsed.synth_fun.params == problem.synth_fun.params
+
+    @pytest.mark.parametrize("name", ["count-up-8", "crossing-8", "hold-8"])
+    def test_inv_benchmarks_round_trip(self, name):
+        problem = find_benchmark(name).problem()
+        text = problem_to_sygus(problem)
+        assert "(inv-constraint" in text
+        reparsed = parse_sygus_text(text, name=name)
+        assert reparsed.track == "INV"
+        assert reparsed.invariant is not None
+        assert reparsed.invariant.pre is problem.invariant.pre
+        assert reparsed.invariant.trans is problem.invariant.trans
+        assert reparsed.invariant.post is problem.invariant.post
+
+    @pytest.mark.parametrize("name", ["qm-max2", "double-2", "plus-two"])
+    def test_general_benchmarks_round_trip_grammar(self, name):
+        problem = find_benchmark(name).problem()
+        text = problem_to_sygus(problem)
+        reparsed = parse_sygus_text(text, name=name)
+        assert reparsed.spec is problem.spec
+        original = problem.synth_fun.grammar
+        parsed = reparsed.synth_fun.grammar
+        assert set(parsed.nonterminals) == set(original.nonterminals)
+        # Membership behaviour must be preserved for the known solution.
+        for rhs_list in original.productions.values():
+            for rhs in rhs_list:
+                pass  # structural check below suffices
+        assert parsed.fingerprint() == original.fingerprint()
+
+    def test_every_benchmark_serializes_and_parses(self):
+        for benchmark in full_suite():
+            problem = benchmark.problem()
+            reparsed = parse_sygus_text(problem_to_sygus(problem))
+            assert reparsed.spec is problem.spec, benchmark.name
+
+
+class TestExport:
+    def test_export_suite_writes_files(self, tmp_path):
+        paths = export_suite(str(tmp_path))
+        assert len(paths) == len(full_suite())
+        for path in paths[:5]:
+            assert os.path.exists(path)
+            with open(path) as handle:
+                assert "(check-synth)" in handle.read()
+
+
+class TestMultiSerializer:
+    def test_multi_problem_round_trip(self):
+        from repro.lang import add, and_, eq, int_var, sub
+        from repro.lang.sorts import INT
+        from repro.sygus.grammar import clia_grammar
+        from repro.sygus.multi import MultiSygusProblem
+        from repro.sygus.problem import SynthFun
+        from repro.sygus.serializer import multi_problem_to_sygus
+
+        x, y = int_var("x"), int_var("y")
+        f = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+        g = SynthFun("g", (x, y), INT, clia_grammar((x, y)))
+        spec = and_(
+            eq(f.apply((x, y)), add(x, y)),
+            eq(g.apply((x, y)), sub(x, y)),
+        )
+        problem = MultiSygusProblem((f, g), spec, (x, y), name="pair")
+        text = multi_problem_to_sygus(problem)
+        reparsed = parse_sygus_text(text, name="pair")
+        from repro.sygus.multi import MultiSygusProblem as M
+
+        assert isinstance(reparsed, M)
+        assert reparsed.fun_names == ("f", "g")
+        assert reparsed.spec is problem.spec

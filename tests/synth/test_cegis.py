@@ -1,0 +1,109 @@
+"""Tests for the generic CEGIS loop."""
+
+import time
+
+import pytest
+
+from repro.lang import and_, eq, ge, int_var, ite, or_
+from repro.lang.sorts import INT
+from repro.sygus.grammar import clia_grammar
+from repro.sygus.problem import SygusProblem, SynthFun
+from repro.synth.cegis import CegisTimeout, cegis
+
+x, y = int_var("x"), int_var("y")
+
+
+def _max2_problem():
+    fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+    fx = fun.apply((x, y))
+    spec = and_(ge(fx, x), ge(fx, y), or_(eq(fx, x), eq(fx, y)))
+    return SygusProblem(fun, spec, (x, y), name="max2")
+
+
+class TestCegis:
+    def test_correct_initial_candidate_needs_no_synthesis(self):
+        problem = _max2_problem()
+        calls = []
+
+        def ind_synth(examples):
+            calls.append(len(examples))
+            raise AssertionError("should not be called")
+
+        solution, examples, iterations = cegis(
+            problem, ind_synth, initial_candidate=ite(ge(x, y), x, y)
+        )
+        assert solution is ite(ge(x, y), x, y)
+        assert iterations == 1
+        assert not calls
+
+    def test_counterexamples_accumulate(self):
+        problem = _max2_problem()
+        candidates = iter([y, ite(ge(x, y), x, y)])
+
+        def ind_synth(examples):
+            return next(candidates)
+
+        solution, examples, iterations = cegis(
+            problem, ind_synth, initial_candidate=x
+        )
+        assert solution is ite(ge(x, y), x, y)
+        assert len(examples) >= 1
+
+    def test_exhausted_synthesizer_returns_none(self):
+        problem = _max2_problem()
+
+        def ind_synth(examples):
+            return None
+
+        solution, _, _ = cegis(problem, ind_synth, initial_candidate=x)
+        assert solution is None
+
+    def test_round_limit(self):
+        problem = _max2_problem()
+
+        def ind_synth(examples):
+            return x  # never correct, never progresses
+
+        solution, _, iterations = cegis(
+            problem, ind_synth, initial_candidate=x, max_rounds=3
+        )
+        assert solution is None
+        assert iterations <= 3
+
+    def test_deadline_raises(self):
+        problem = _max2_problem()
+        with pytest.raises(CegisTimeout):
+            cegis(
+                problem,
+                lambda examples: x,
+                initial_candidate=x,
+                deadline=time.monotonic() - 1,
+            )
+
+    def test_shared_example_list_is_mutated(self):
+        problem = _max2_problem()
+        shared = []
+
+        def ind_synth(examples):
+            return None
+
+        cegis(problem, ind_synth, initial_candidate=x, examples=shared)
+        assert shared, "the counterexample must land in the shared list"
+
+    def test_duplicate_cex_from_initial_candidate_is_tolerated(self):
+        """With shared examples the initial candidate may regenerate a known
+        counterexample; CEGIS must continue, not give up (regression test)."""
+        problem = _max2_problem()
+        # Seed with the exact counterexample that verify(x) would produce.
+        ok, cex = problem.verify(x)
+        assert not ok
+        shared = [cex]
+        candidates = iter([ite(ge(x, y), x, y)])
+
+        def ind_synth(examples):
+            return next(candidates)
+
+        solution, _, _ = cegis(
+            problem, ind_synth, initial_candidate=x, examples=shared
+        )
+        assert solution is not None

