@@ -11,8 +11,8 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.suite import Benchmark, full_suite
 from repro.baselines import CegqiSolver, EnumerativeSolver, LoopInvGenSolver
@@ -33,6 +33,7 @@ SOLVER_NAMES = (
     "height-enum",
     "deduction",
     "dryadsynth-euback",
+    "portfolio",
 )
 
 
@@ -108,9 +109,24 @@ def _euback_engine(problem, height, examples, config, deadline, stats):
     return body
 
 
-def make_solver(name: str, timeout: Optional[float] = None):
-    """Instantiate a solver by portfolio name."""
-    config = SynthConfig(timeout=timeout)
+def make_solver(
+    name: str,
+    timeout: Optional[float] = None,
+    config: Optional[SynthConfig] = None,
+):
+    """Instantiate a solver by portfolio name.
+
+    Pass ``config`` to control every knob (the service's job engine does);
+    ``timeout``, when given, overrides the config's budget.
+    """
+    if config is None:
+        config = SynthConfig(timeout=timeout)
+    elif timeout is not None:
+        config = replace(config, timeout=timeout)
+    if name == "portfolio":
+        from repro.synth.portfolio import SequentialPortfolio
+
+        return SequentialPortfolio.default(config)
     if name == "dryadsynth":
         return CooperativeSynthesizer(config)
     if name == "cegqi":
@@ -204,12 +220,21 @@ def run_suite(
     cache: Optional[ResultsCache] = None,
     use_cache: bool = True,
     progress: Optional[Callable[[RunResult], None]] = None,
+    jobs: int = 1,
 ) -> List[RunResult]:
-    """Run the portfolio; returns one :class:`RunResult` per (bench, solver)."""
+    """Run the portfolio; returns one :class:`RunResult` per (bench, solver).
+
+    With ``jobs > 1`` the campaign executes on the service's
+    :class:`~repro.service.pool.WorkerPool`: ``jobs`` worker processes, a
+    hard deadline per run enforced by the parent, crash isolation with one
+    retry.  Results (and their on-disk cache) are identical either way.
+    """
     if benchmarks is None:
         benchmarks = full_suite()
     if cache is None and use_cache:
         cache = ResultsCache()
+    if jobs > 1:
+        return _run_suite_parallel(benchmarks, solvers, timeout, cache, progress, jobs)
     results: List[RunResult] = []
     for benchmark in benchmarks:
         for solver_name in solvers:
@@ -225,3 +250,78 @@ def run_suite(
             if progress is not None:
                 progress(result)
     return results
+
+
+def _run_suite_parallel(
+    benchmarks: Sequence[Benchmark],
+    solvers: Sequence[str],
+    timeout: float,
+    cache: Optional[ResultsCache],
+    progress: Optional[Callable[[RunResult], None]],
+    jobs: int,
+) -> List[RunResult]:
+    """Campaign execution through the process-parallel job engine."""
+    from repro.service.jobs import JobResult, SynthesisJob
+    from repro.service.pool import WorkerPool
+
+    order: List[Tuple[Benchmark, str]] = [
+        (benchmark, solver) for benchmark in benchmarks for solver in solvers
+    ]
+    completed: Dict[str, RunResult] = {}
+    todo: List[SynthesisJob] = []
+    todo_keys: List[Tuple[Benchmark, str]] = []
+    for benchmark, solver_name in order:
+        key = f"{benchmark.name}::{solver_name}"
+        cached = cache.get(benchmark, solver_name, timeout) if cache else None
+        if cached is not None:
+            completed[key] = cached
+            continue
+        todo.append(
+            SynthesisJob.from_problem(
+                benchmark.problem(),
+                solver=solver_name,
+                timeout=timeout,
+                job_id=key,
+                name=benchmark.name,
+            )
+        )
+        todo_keys.append((benchmark, solver_name))
+    if todo:
+        by_id = {key: pair for key, pair in zip((j.job_id for j in todo), todo_keys)}
+
+        def on_result(job_result: JobResult) -> None:
+            benchmark, solver_name = by_id[job_result.job_id]
+            run = _job_to_run_result(benchmark, solver_name, timeout, job_result)
+            completed[job_result.job_id] = run
+            if cache:
+                cache.put(run, timeout)
+                cache.save()
+
+        with WorkerPool(workers=jobs) as pool:
+            pool.run(todo, progress=on_result)
+    results: List[RunResult] = []
+    for benchmark, solver_name in order:
+        result = completed[f"{benchmark.name}::{solver_name}"]
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def _job_to_run_result(
+    benchmark: Benchmark, solver_name: str, timeout: float, job_result
+) -> RunResult:
+    """Translate a service :class:`JobResult` into the campaign's record."""
+    solved = job_result.status == "solved"
+    return RunResult(
+        benchmark=benchmark.name,
+        track=benchmark.track,
+        solver=solver_name,
+        solved=solved,
+        time_seconds=round(job_result.wall_time, 4),
+        solution_size=job_result.solution_size,
+        solution_height=job_result.solution_height,
+        timed_out=job_result.status in ("timeout", "crashed")
+        or job_result.wall_time > timeout,
+        deduction_solved=bool(job_result.stats.get("deduction_solved", False)),
+    )

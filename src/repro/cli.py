@@ -3,11 +3,16 @@
 Reads a SyGuS-IF problem, runs a solver from the portfolio (the cooperative
 synthesizer by default) and prints the solution as a ``define-fun``, the way
 the original DryadSynth binary behaves in the SyGuS competition harness.
+
+``dryadsynth batch DIR`` runs a whole directory of ``.sl`` files through the
+process-parallel job engine (:mod:`repro.service`) and emits one JSON record
+per problem — the batch/service entry point.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional
@@ -49,10 +54,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print the cooperative loop's event trace to stderr "
         "(dryadsynth solvers only)",
     )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the event trace as JSON to PATH "
+        "(dryadsynth solvers only)",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return _batch_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         problem = parse_sygus_file(args.file)
@@ -65,7 +81,7 @@ def main(argv: Optional[list] = None) -> int:
         return _run_multi(problem, args)
     solver = make_solver(args.solver, args.timeout)
     trace = None
-    if args.trace and hasattr(solver, "trace"):
+    if (args.trace or args.trace_json) and hasattr(solver, "trace"):
         from repro.synth.trace import SynthesisTrace
 
         trace = SynthesisTrace()
@@ -73,8 +89,14 @@ def main(argv: Optional[list] = None) -> int:
     start = time.monotonic()
     outcome = solver.synthesize(problem)
     elapsed = time.monotonic() - start
-    if trace is not None:
+    if trace is not None and args.trace:
         print(trace.render(), file=sys.stderr)
+    if trace is not None and args.trace_json:
+        try:
+            with open(args.trace_json, "w") as handle:
+                json.dump(trace.to_json(), handle, indent=1)
+        except OSError as exc:
+            print(f"warning: cannot write trace: {exc}", file=sys.stderr)
     if args.stats:
         print(
             f"; solver={args.solver} time={elapsed:.3f}s "
@@ -103,6 +125,136 @@ def _run_multi(problem, args) -> int:
     for rendered in solution.define_funs():
         print(rendered)
     return 0
+
+
+def build_batch_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth batch",
+        description=(
+            "Run a directory (or list) of SyGuS-IF problems through the "
+            "process-parallel synthesis job engine; one JSON record per "
+            "problem is written as JSONL."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help=".sl files and/or directories containing them",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--solver",
+        default="dryadsynth",
+        help="solver to run on every problem (default: dryadsynth); any "
+        f"of {', '.join(SOLVER_NAMES)} or fixed-height@H",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-problem wall-clock budget (default: 10)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write JSONL results to PATH (default: stdout)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="persistent fingerprint-keyed result cache directory "
+        "(default: $REPRO_SERVICE_CACHE or ~/.cache/repro/results)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries per crashed/hung job before giving up (default: 1)",
+    )
+    return parser
+
+
+def _collect_sl_files(paths) -> list:
+    import glob
+    import os
+
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "*.sl"))))
+        else:
+            files.append(path)
+    return files
+
+
+def _batch_main(argv) -> int:
+    from repro.service.cache import ResultCache
+    from repro.service.jobs import CRASHED, SynthesisJob
+    from repro.service.pool import WorkerPool
+
+    args = build_batch_arg_parser().parse_args(argv)
+    files = _collect_sl_files(args.paths)
+    if not files:
+        print("error: no .sl files found", file=sys.stderr)
+        return 2
+    jobs = []
+    for path in files:
+        try:
+            jobs.append(
+                SynthesisJob.from_file(path, solver=args.solver, timeout=args.timeout)
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    cache = None if args.no_cache else ResultCache(args.cache)
+    start = time.monotonic()
+
+    def progress(result) -> None:
+        print(
+            f"; [{result.status:>9s}] {result.name}"
+            f" ({result.wall_time:.2f}s"
+            f"{', cached' if result.from_cache else ''})",
+            file=sys.stderr,
+        )
+
+    with WorkerPool(
+        workers=args.jobs, max_retries=args.retries, cache=cache
+    ) as pool:
+        results = pool.run(jobs, progress=progress)
+    elapsed = time.monotonic() - start
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for result in results:
+            out.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
+    finally:
+        if args.out:
+            out.close()
+    solved = sum(1 for r in results if r.status == "solved")
+    crashed = sum(1 for r in results if r.status == CRASHED)
+    cache_note = (
+        f" cache_hits={cache.hits}" if cache is not None else ""
+    )
+    print(
+        f"; batch done: {solved}/{len(results)} solved in {elapsed:.2f}s "
+        f"with --jobs {args.jobs}{cache_note}",
+        file=sys.stderr,
+    )
+    return 1 if crashed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,112 @@
+"""Persistent on-disk cache of :class:`~repro.service.jobs.JobResult` records.
+
+Layout: one JSON file per fingerprint, sharded by the first two hex chars
+(``<root>/ab/abcdef...json``) so a campaign over thousands of problems never
+funnels through one directory or one giant index file (the weakness of the
+ad-hoc ``bench_results.json`` cache this generalizes).  Writes are atomic
+(temp file + rename), so a killed campaign never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Iterator, Optional
+
+from repro.service.jobs import TERMINAL_STATUSES, JobResult
+
+#: Entries carry a schema version; mismatched entries read as misses.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_ENV = "REPRO_SERVICE_CACHE"
+
+
+def default_cache_dir() -> str:
+    path = os.environ.get(DEFAULT_CACHE_ENV)
+    if path:
+        return path
+    xdg = os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache"))
+    return os.path.join(xdg, "repro", "results")
+
+
+class ResultCache:
+    """Fingerprint-keyed job result store with hit/miss accounting."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    def get(self, fingerprint: str) -> Optional[JobResult]:
+        path = self._path(fingerprint)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if data.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        try:
+            result = JobResult.from_json(data["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: JobResult) -> None:
+        """Store a terminal result (crashed/cancelled runs are not cacheable)."""
+        if result.status not in TERMINAL_STATUSES:
+            return
+        result.fingerprint = fingerprint
+        path = self._path(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA, "result": result.to_json()}
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            os.unlink(self._path(fingerprint))
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def fingerprints(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".json") and not entry.startswith("."):
+                    yield entry[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.exists(self._path(fingerprint))

@@ -1,0 +1,337 @@
+"""Job and result types for the synthesis service, plus worker-side execution.
+
+A :class:`SynthesisJob` is fully picklable: the problem travels as SyGuS-IF
+text, the solver as a registry name, the configuration as the plain
+:class:`~repro.synth.config.SynthConfig` dataclass.  The worker parses the
+text, runs the named solver and answers with a :class:`JobResult` whose
+solution (if any) is again serialized text — :class:`~repro.lang.ast.Term`
+values never cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.synth.config import SynthConfig
+
+# Job outcome statuses (plain strings so JSON round-trips are trivial).
+SOLVED = "solved"
+UNSOLVED = "unsolved"
+TIMEOUT = "timeout"
+CRASHED = "crashed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATUSES = (SOLVED, UNSOLVED, TIMEOUT)
+
+#: Grace multiplier/offset turning a job's soft (in-worker) timeout into the
+#: hard deadline the parent enforces with SIGTERM.
+HARD_TIMEOUT_FACTOR = 1.5
+HARD_TIMEOUT_MARGIN = 5.0
+
+
+@dataclass
+class SynthesisJob:
+    """One solver run over one problem, ready to ship to a worker process."""
+
+    problem_text: str
+    solver: str = "dryadsynth"
+    config: SynthConfig = field(default_factory=SynthConfig)
+    #: Soft wall-clock budget enforced inside the worker (overrides
+    #: ``config.timeout`` when set).
+    timeout: Optional[float] = None
+    #: Hard deadline enforced by the parent (terminate + retry).  Defaults to
+    #: ``timeout * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_MARGIN``.
+    hard_timeout: Optional[float] = None
+    job_id: str = ""
+    name: str = "job"
+    #: Free-form extras for special solvers (e.g. debug hooks).
+    params: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def effective_timeout(self) -> Optional[float]:
+        return self.timeout if self.timeout is not None else self.config.timeout
+
+    @property
+    def effective_hard_timeout(self) -> Optional[float]:
+        if self.hard_timeout is not None:
+            return self.hard_timeout
+        soft = self.effective_timeout
+        if soft is None:
+            return None
+        return soft * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_MARGIN
+
+    def run_config(self) -> SynthConfig:
+        """The worker-side config, with the job's soft timeout applied."""
+        if self.timeout is None:
+            return self.config
+        return replace(self.config, timeout=self.timeout)
+
+    def fingerprint(self) -> str:
+        from repro.service.fingerprint import problem_fingerprint
+
+        return problem_fingerprint(self.problem_text, self.solver, self.run_config())
+
+    @staticmethod
+    def from_problem(problem, solver: str = "dryadsynth", **kwargs) -> "SynthesisJob":
+        """Build a job from an in-memory problem (single- or multi-function)."""
+        from repro.sygus.multi import MultiSygusProblem
+        from repro.sygus.serializer import multi_problem_to_sygus, problem_to_sygus
+
+        if isinstance(problem, MultiSygusProblem):
+            text = multi_problem_to_sygus(problem)
+        else:
+            text = problem_to_sygus(problem)
+        kwargs.setdefault("name", problem.name)
+        return SynthesisJob(problem_text=text, solver=solver, **kwargs)
+
+    @staticmethod
+    def from_file(path: str, solver: str = "dryadsynth", **kwargs) -> "SynthesisJob":
+        import os
+
+        with open(path) as handle:
+            text = handle.read()
+        name = os.path.basename(path)
+        if name.endswith(".sl"):
+            name = name[: -len(".sl")]
+        kwargs.setdefault("name", name)
+        return SynthesisJob(problem_text=text, solver=solver, **kwargs)
+
+
+@dataclass
+class JobResult:
+    """Typed outcome of one job (the JSONL record of ``dryadsynth batch``)."""
+
+    job_id: str
+    name: str
+    solver: str
+    status: str
+    solution_text: Optional[str] = None
+    solution_size: Optional[int] = None
+    solution_height: Optional[int] = None
+    wall_time: float = 0.0
+    stats: Dict = field(default_factory=dict)
+    attempts: int = 1
+    failures: List[str] = field(default_factory=list)
+    from_cache: bool = False
+    error: Optional[str] = None
+    fingerprint: str = ""
+
+    @property
+    def solved(self) -> bool:
+        return self.status == SOLVED
+
+    def to_json(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(data: Dict) -> "JobResult":
+        return JobResult(**data)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+
+class FixedHeightJobSolver:
+    """Run Algorithm 2 at one fixed height (the process-parallel height racer)."""
+
+    def __init__(self, height: int, config: Optional[SynthConfig] = None):
+        self.height = height
+        self.config = config or SynthConfig()
+        self.name = f"fixed-height@{height}"
+
+    def synthesize(self, problem):
+        from repro.smt.solver import SolverBudgetExceeded
+        from repro.sygus.problem import Solution
+        from repro.synth.cegis import CegisTimeout
+        from repro.synth.encoding import EncodingUnsupported
+        from repro.synth.fixed_height import fixed_height
+        from repro.synth.result import SynthesisOutcome, SynthesisStats
+
+        config = self.config
+        stats = SynthesisStats()
+        start = time.monotonic()
+        deadline = start + config.timeout if config.timeout is not None else None
+        stats.heights_tried += 1
+        stats.max_height_reached = self.height
+        try:
+            body = fixed_height(
+                problem,
+                self.height,
+                config,
+                examples=[],
+                deadline=deadline,
+                stats=stats,
+                prefix=f"svc{self.height}",
+            )
+        except (CegisTimeout, SolverBudgetExceeded):
+            return SynthesisOutcome(None, stats, timed_out=True)
+        except EncodingUnsupported:
+            return SynthesisOutcome(None, stats)
+        if body is None:
+            return SynthesisOutcome(None, stats)
+        elapsed = time.monotonic() - start
+        return SynthesisOutcome(Solution(problem, body, self.name, elapsed), stats)
+
+
+def build_solver(name: str, config: SynthConfig):
+    """Instantiate a solver by service name (superset of the bench registry)."""
+    if name.startswith("fixed-height@"):
+        return FixedHeightJobSolver(int(name.split("@", 1)[1]), config)
+    from repro.bench.runner import make_solver
+
+    return make_solver(name, config=config)
+
+
+def parse_solution_text(problem, text: str):
+    """Parse a ``(define-fun ...)`` back into a body :class:`Term`.
+
+    Interpreted grammar operators are kept as applications (not inlined) so
+    the reconstructed body prints the same way the worker's solution did.
+    """
+    from repro.lang.sexpr import parse_sexpr
+    from repro.sygus.parser import SygusParseError, _Context
+
+    sexpr = parse_sexpr(text)
+    if not (isinstance(sexpr, list) and len(sexpr) == 5 and sexpr[0] == "define-fun"):
+        raise SygusParseError(f"not a define-fun: {text[:80]!r}")
+    ctx = _Context()
+    ctx.defined = dict(problem.synth_fun.grammar.interpreted)
+    scope = {p.payload: p for p in problem.synth_fun.params}
+    return ctx.parse_term(sexpr[4], scope, inline_defined=False)
+
+
+def _debug_solver_result(job: SynthesisJob, start: float) -> Optional[JobResult]:
+    """Built-in ``debug-*`` solvers exercising the pool's failure paths.
+
+    These exist so crash/hang/retry handling can be tested (and demoed)
+    deterministically without a real solver:
+
+    - ``debug-solve[@secs]`` — optionally sleep, then "solve";
+    - ``debug-sleep@secs`` — sleep, then report unsolved;
+    - ``debug-hang`` — never return (parent must enforce the deadline);
+    - ``debug-raise`` — raise inside the worker (in-process crash);
+    - ``debug-exit[@code]`` — ``os._exit`` (hard crash, as if OOM-killed);
+    - ``debug-crash-once@path`` — hard-crash on the first attempt (marker
+      file absent), succeed on the retry.
+    """
+    name = job.solver
+    if not name.startswith("debug-"):
+        return None
+    head, _, arg = name.partition("@")
+    if head == "debug-solve":
+        if arg:
+            time.sleep(float(arg))
+        return JobResult(
+            job.job_id,
+            job.name,
+            job.solver,
+            SOLVED,
+            solution_text="(define-fun f () Int 0)",
+            solution_size=1,
+            solution_height=0,
+            wall_time=time.monotonic() - start,
+        )
+    if head == "debug-sleep":
+        time.sleep(float(arg))
+        return JobResult(
+            job.job_id, job.name, job.solver, UNSOLVED,
+            wall_time=time.monotonic() - start,
+        )
+    if head == "debug-hang":
+        while True:
+            time.sleep(60.0)
+    if head == "debug-raise":
+        raise RuntimeError("debug-raise: simulated in-worker failure")
+    if head == "debug-exit":
+        import os
+
+        os._exit(int(arg) if arg else 13)
+    if head == "debug-crash-once":
+        import os
+
+        if not os.path.exists(arg):
+            with open(arg, "w") as handle:
+                handle.write("attempt 1\n")
+            os._exit(13)
+        return JobResult(
+            job.job_id, job.name, job.solver, UNSOLVED,
+            wall_time=time.monotonic() - start,
+        )
+    raise ValueError(f"unknown debug solver {name!r}")
+
+
+def execute_job(job: SynthesisJob) -> JobResult:
+    """Run one job to completion in the current process.
+
+    Never raises: any exception is folded into a ``crashed`` result so a
+    worker survives bad jobs (hard crashes — ``os._exit``, OOM kills — are
+    detected by the parent instead).
+    """
+    start = time.monotonic()
+    try:
+        debug = _debug_solver_result(job, start)
+        if debug is not None:
+            return debug
+        return _execute_real_job(job, start)
+    except Exception as exc:  # noqa: BLE001 - worker survival boundary
+        return JobResult(
+            job.job_id,
+            job.name,
+            job.solver,
+            CRASHED,
+            wall_time=time.monotonic() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            failures=[traceback.format_exc(limit=8)],
+        )
+
+
+def _execute_real_job(job: SynthesisJob, start: float) -> JobResult:
+    from repro.sygus.multi import MultiSygusProblem
+    from repro.sygus.parser import parse_sygus_text
+
+    problem = parse_sygus_text(job.problem_text, name=job.name)
+    config = job.run_config()
+    if isinstance(problem, MultiSygusProblem):
+        return _execute_multi(job, problem, config, start)
+    solver = build_solver(job.solver, config)
+    outcome = solver.synthesize(problem)
+    elapsed = time.monotonic() - start
+    result = JobResult(
+        job.job_id,
+        job.name,
+        job.solver,
+        SOLVED if outcome.solution is not None else (
+            TIMEOUT if outcome.timed_out else UNSOLVED
+        ),
+        wall_time=elapsed,
+        stats=asdict(outcome.stats),
+    )
+    if outcome.solution is not None:
+        result.solution_text = outcome.solution.define_fun()
+        result.solution_size = outcome.solution.size
+        result.solution_height = outcome.solution.height
+    return result
+
+
+def _execute_multi(job, problem, config: SynthConfig, start: float) -> JobResult:
+    """Multi-function problems always go through the multi synthesizer."""
+    from repro.synth.multi import MultiFunctionSynthesizer
+
+    solution, stats = MultiFunctionSynthesizer(config).synthesize(problem)
+    elapsed = time.monotonic() - start
+    result = JobResult(
+        job.job_id,
+        job.name,
+        job.solver,
+        SOLVED if solution is not None else UNSOLVED,
+        wall_time=elapsed,
+        stats=asdict(stats),
+    )
+    if solution is not None:
+        result.solution_text = "\n".join(solution.define_funs())
+    return result

@@ -1,0 +1,386 @@
+"""A crash-tolerant multiprocessing worker pool for synthesis jobs.
+
+Design constraints (why this is not ``concurrent.futures``):
+
+- **Workers are survivable, not trusted.**  A synthesis run may hang, blow
+  past its budget, or die (stack overflow, OOM kill).  The parent owns every
+  job's hard deadline, detects dead workers by process liveness (not by pipe
+  EOF alone), terminates and respawns on overrun, and retries each failed
+  job once (configurable) before recording a ``crashed``/``timeout`` result.
+  ``ProcessPoolExecutor`` instead marks the whole pool broken on one lost
+  worker and offers no per-job deadline.
+- **First-finisher-wins races.**  :meth:`WorkerPool.race` runs several jobs
+  for the *same* logical question (portfolio members, height workers) and
+  terminates the losers the moment one solves — the paper's Section 5.1
+  semantics, but across processes instead of GIL-bound threads.
+- **Bounded queue + fingerprint cache.**  Jobs are admitted at most
+  ``queue_size`` at a time, and a :class:`~repro.service.cache.ResultCache`
+  short-circuits jobs whose fingerprint already has a terminal result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    CANCELLED,
+    CRASHED,
+    SOLVED,
+    TIMEOUT,
+    JobResult,
+    SynthesisJob,
+    execute_job,
+)
+
+ProgressFn = Callable[[JobResult], None]
+
+
+class PoolError(RuntimeError):
+    """The pool was used after :meth:`WorkerPool.close`."""
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive a job, run it, send the result, repeat.
+
+    ``None`` is the shutdown sentinel.  ``execute_job`` never raises, so the
+    only ways a worker stops replying are a hard crash or a hang — both are
+    the parent's responsibility.
+    """
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if job is None:
+            return
+        try:
+            conn.send(execute_job(job))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One worker process plus its parent-side pipe end and assignment."""
+
+    __slots__ = ("process", "conn", "slot", "assigned_at", "deadline")
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.slot: Optional[Tuple[int, SynthesisJob]] = None
+        self.assigned_at = 0.0
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.slot is not None
+
+    def assign(self, index: int, job: SynthesisJob) -> None:
+        self.conn.send(job)
+        self.slot = (index, job)
+        self.assigned_at = time.monotonic()
+        hard = job.effective_hard_timeout
+        self.deadline = self.assigned_at + hard if hard is not None else None
+
+    def clear(self) -> None:
+        self.slot = None
+        self.deadline = None
+
+    def stop(self, grace: float = 1.0) -> None:
+        """Terminate the process (escalating to SIGKILL) and close the pipe."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(grace)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(grace)
+        self.conn.close()
+
+
+class WorkerPool:
+    """Process pool executing :class:`SynthesisJob`\\ s with hard deadlines.
+
+    Usable as a context manager; :meth:`run` and :meth:`race` may be called
+    repeatedly until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        max_retries: int = 1,
+        queue_size: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.size = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.max_retries = max(0, max_retries)
+        self.queue_size = queue_size if queue_size is not None else 2 * self.size
+        self.cache = cache
+        self.poll_interval = poll_interval
+        method = start_method or os.environ.get("REPRO_SERVICE_START_METHOD")
+        if method is None:
+            # fork is markedly cheaper where available; jobs carry only text
+            # and plain dataclasses, so either start method is correct.
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(method)
+        self._workers: List[_Worker] = []
+        self._closed = False
+        self._job_seq = 0
+
+    # -- Introspection (used by tests to simulate worker death) ----------------
+
+    def worker_pids(self) -> List[int]:
+        return [
+            w.process.pid
+            for w in self._workers
+            if w.process.pid is not None and w.process.is_alive()
+        ]
+
+    # -- Public API -------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[SynthesisJob],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[JobResult]:
+        """Execute every job; results come back in submission order."""
+        return self._execute(list(jobs), stop_on_first_solved=False, progress=progress)
+
+    def race(
+        self,
+        jobs: Sequence[SynthesisJob],
+        progress: Optional[ProgressFn] = None,
+    ) -> Tuple[Optional[JobResult], List[JobResult]]:
+        """First-finisher-wins: stop (and cancel losers) on the first solve.
+
+        Returns ``(winner, results)``; ``winner`` is ``None`` when nobody
+        solved.  Losing racers get ``cancelled`` results.
+        """
+        results = self._execute(list(jobs), stop_on_first_solved=True, progress=progress)
+        winner = next((r for r in results if r.status == SOLVED), None)
+        return winner, results
+
+    def close(self) -> None:
+        """Graceful shutdown: idle workers get the sentinel, busy ones SIGTERM."""
+        for worker in self._workers:
+            if not worker.busy:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self._workers:
+            if worker.busy:
+                worker.stop()
+            else:
+                worker.process.join(1.0)
+                if worker.process.is_alive():
+                    worker.stop()
+                else:
+                    worker.conn.close()
+        self._workers = []
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- Scheduler --------------------------------------------------------------
+
+    def _execute(
+        self,
+        jobs: List[SynthesisJob],
+        stop_on_first_solved: bool,
+        progress: Optional[ProgressFn],
+    ) -> List[JobResult]:
+        if self._closed:
+            raise PoolError("pool is closed")
+        for job in jobs:
+            if not job.job_id:
+                self._job_seq += 1
+                job.job_id = f"job-{self._job_seq}"
+
+        pending: deque = deque()
+        feed = iter(enumerate(jobs))
+        feed_done = False
+        completed: Dict[int, JobResult] = {}
+        attempts: Dict[int, int] = {}
+        failures: Dict[int, List[str]] = {}
+        cancelling = False
+
+        def complete(index: int, job: SynthesisJob, result: JobResult) -> None:
+            nonlocal cancelling
+            result.attempts = attempts.get(index, result.attempts)
+            result.failures = failures.get(index, []) or result.failures
+            completed[index] = result
+            if self.cache is not None and not result.from_cache:
+                self.cache.put(job.fingerprint(), result)
+            if progress is not None:
+                progress(result)
+            if stop_on_first_solved and result.status == SOLVED:
+                cancelling = True
+
+        def fail_attempt(worker: _Worker, reason: str, status: str) -> None:
+            """A worker crashed/hung on its job: retire it, retry or record."""
+            index, job = worker.slot  # type: ignore[misc]
+            elapsed = time.monotonic() - worker.assigned_at
+            worker.clear()
+            self._retire(worker)
+            failures.setdefault(index, []).append(reason)
+            if attempts[index] <= self.max_retries:
+                pending.appendleft((index, job))
+                return
+            complete(
+                index,
+                job,
+                JobResult(
+                    job.job_id, job.name, job.solver, status,
+                    wall_time=round(elapsed, 4), error=reason,
+                ),
+            )
+
+        while len(completed) < len(jobs):
+            if cancelling:
+                self._cancel_remaining(
+                    jobs, pending, feed, feed_done, completed, progress
+                )
+                break
+
+            while not feed_done and len(pending) < self.queue_size:
+                try:
+                    pending.append(next(feed))
+                except StopIteration:
+                    feed_done = True
+
+            # Assign work: cache hits complete immediately without a worker.
+            while pending and not cancelling:
+                index, job = pending[0]
+                if attempts.get(index, 0) == 0 and self.cache is not None:
+                    hit = self.cache.get(job.fingerprint())
+                    if hit is not None:
+                        pending.popleft()
+                        result = JobResult.from_json(hit.to_json())
+                        result.job_id = job.job_id
+                        result.name = job.name
+                        result.from_cache = True
+                        complete(index, job, result)
+                        continue
+                worker = self._idle_worker()
+                if worker is None:
+                    break
+                pending.popleft()
+                attempts[index] = attempts.get(index, 0) + 1
+                worker.assign(index, job)
+            if cancelling or len(completed) >= len(jobs):
+                continue
+
+            busy = [w for w in self._workers if w.busy]
+            if not busy:
+                continue
+            ready = _conn_wait([w.conn for w in busy], timeout=self.poll_interval)
+            now = time.monotonic()
+            for worker in busy:
+                if not worker.busy:
+                    continue
+                if worker.conn in ready:
+                    try:
+                        result = worker.conn.recv()
+                    except (EOFError, OSError):
+                        fail_attempt(
+                            worker,
+                            "crashed: worker pipe closed mid-job",
+                            CRASHED,
+                        )
+                        continue
+                    index, job = worker.slot  # type: ignore[misc]
+                    worker.clear()
+                    if result.status == CRASHED:
+                        # In-process failure: the worker survives, the job is
+                        # retried like any other crash.
+                        failures.setdefault(index, []).append(
+                            f"crashed: {result.error}"
+                        )
+                        if attempts[index] <= self.max_retries:
+                            pending.appendleft((index, job))
+                        else:
+                            complete(index, job, result)
+                    else:
+                        complete(index, job, result)
+                elif not worker.process.is_alive():
+                    fail_attempt(
+                        worker,
+                        "crashed: worker exited with code "
+                        f"{worker.process.exitcode}",
+                        CRASHED,
+                    )
+                elif worker.deadline is not None and now > worker.deadline:
+                    fail_attempt(
+                        worker,
+                        "timeout: exceeded hard deadline of "
+                        f"{job_hard_timeout(worker):.3g}s",
+                        TIMEOUT,
+                    )
+
+        return [completed[i] for i in range(len(jobs))]
+
+    # -- Internals --------------------------------------------------------------
+
+    def _idle_worker(self) -> Optional[_Worker]:
+        for worker in self._workers:
+            if not worker.busy:
+                if worker.process.is_alive():
+                    return worker
+                self._retire(worker)
+                break
+        if len(self._workers) < self.size:
+            worker = _Worker(self._ctx)
+            self._workers.append(worker)
+            return worker
+        return None
+
+    def _retire(self, worker: _Worker) -> None:
+        worker.stop()
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    def _cancel_remaining(
+        self, jobs, pending, feed, feed_done, completed, progress
+    ) -> None:
+        """A racer won: terminate running losers, mark the rest cancelled."""
+        for worker in list(self._workers):
+            if worker.busy:
+                index, job = worker.slot
+                worker.clear()
+                self._retire(worker)
+                completed[index] = _cancelled(job)
+                if progress is not None:
+                    progress(completed[index])
+        leftovers = list(pending)
+        if not feed_done:
+            leftovers.extend(feed)
+        for index, job in leftovers:
+            if index not in completed:
+                completed[index] = _cancelled(job)
+                if progress is not None:
+                    progress(completed[index])
+
+
+def _cancelled(job: SynthesisJob) -> JobResult:
+    return JobResult(job.job_id, job.name, job.solver, CANCELLED)
+
+
+def job_hard_timeout(worker: _Worker) -> float:
+    assert worker.deadline is not None
+    return worker.deadline - worker.assigned_at

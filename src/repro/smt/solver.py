@@ -63,11 +63,13 @@ class SmtStats:
 
 
 class SmtSolver:
-    """A one-shot QF_LIA satisfiability checker.
+    """An incremental QF_LIA satisfiability checker.
 
-    Each :meth:`check` call encodes one formula and runs the lazy loop.  A
-    fresh CDCL/encoder pair is used per check; learned theory lemmas do not
-    persist across checks (DryadSynth's CEGIS loops re-encode per query too).
+    Assertions (and the clauses, atom canonicalisation and learned theory
+    lemmas derived from them) accumulate across :meth:`check`/:meth:`solve`
+    calls on one instance — CEGIS-style loops that strengthen a query keep
+    everything already derived.  Use :meth:`reset` (or a fresh instance, as
+    :func:`check_sat`/:func:`is_valid` do) for isolated one-shot checks.
     """
 
     def __init__(
@@ -99,12 +101,24 @@ class SmtSolver:
             return
         self._encoder.assert_formula(formula)
 
-    def check(self, formula: Term) -> Result:
-        """One-shot satisfiability check of a QF_LIA formula.
+    def reset(self) -> None:
+        """Drop every asserted formula, learned lemma and atom table.
 
-        Equivalent to ``add(formula)`` followed by :meth:`solve` on a fresh
-        solver (this instance is reused — callers wanting isolation should
-        construct a new :class:`SmtSolver`).
+        After ``reset`` the instance behaves like a newly constructed solver
+        (statistics are kept; they describe the solver's lifetime).
+        """
+        self._encoder = CnfEncoder()
+        self._trivially_false = False
+
+    def check(self, formula: Term) -> Result:
+        """Incremental satisfiability check: ``add(formula)`` then :meth:`solve`.
+
+        Note this is *not* one-shot on a reused instance — assertions from
+        earlier ``add``/``check`` calls stay in force, so the result is the
+        satisfiability of the conjunction of everything asserted so far.
+        Call :meth:`reset` first (or construct a fresh :class:`SmtSolver`,
+        as the module-level helpers :func:`check_sat` / :func:`is_valid` do)
+        for an isolated check.
 
         Raises:
             SolverBudgetExceeded: on timeout or budget exhaustion.

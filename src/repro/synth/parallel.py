@@ -3,11 +3,19 @@
 The paper runs the fixed-height CEGIS loop at ``n`` different heights on
 ``n`` threads, sharing the counterexample set, and maintains the next height
 ``k`` to be claimed when a thread concludes its height is unsolvable.  This
-module reproduces that scheme with a thread pool.  Under CPython's GIL the
-threads interleave rather than truly parallelise (the SMT substrate is pure
-Python), so the default benchmark configuration uses width 1; the scheme is
-still exercised by the test suite for correctness (shared counterexamples,
-first-finisher-wins, height claiming).
+module reproduces that scheme with two backends:
+
+- ``backend="thread"`` (default): the original thread pool.  Under CPython's
+  GIL the threads interleave rather than truly parallelise (the SMT
+  substrate is pure Python); the scheme is still exercised by the test
+  suite for correctness (shared counterexamples, first-finisher-wins,
+  height claiming).
+- ``backend="process"``: heights race as jobs on a
+  :class:`~repro.service.pool.WorkerPool` of OS processes — real
+  parallelism, crash isolation and parent-enforced deadlines.  Candidates
+  cross the process boundary as serialized SyGuS text, so counterexamples
+  are per-worker rather than shared; height claiming falls out of the
+  pool's scheduling (``width`` workers, one queued job per height).
 """
 
 from __future__ import annotations
@@ -49,11 +57,26 @@ class ParallelHeightSynthesizer:
 
     name = "height-enum-parallel"
 
-    def __init__(self, config: Optional[SynthConfig] = None, width: int = 2):
+    def __init__(
+        self,
+        config: Optional[SynthConfig] = None,
+        width: int = 2,
+        backend: str = "thread",
+    ):
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.config = config or SynthConfig()
         self.width = max(1, width)
+        self.backend = backend
 
     def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
+        if self.backend == "process":
+            return self._synthesize_process(problem)
+        return self._synthesize_threaded(problem)
+
+    # -- Thread backend ---------------------------------------------------------
+
+    def _synthesize_threaded(self, problem: SygusProblem) -> SynthesisOutcome:
         config = self.config
         stats = SynthesisStats()
         start = time.monotonic()
@@ -67,40 +90,48 @@ class ParallelHeightSynthesizer:
         state_lock = threading.Lock()
 
         def worker(initial_height: int) -> None:
-            height = initial_height
-            while height <= config.max_height:
-                with state_lock:
-                    if state["solution"] is not None:
-                        return
-                    stats.heights_tried += 1
-                    stats.max_height_reached = max(
-                        stats.max_height_reached, height
-                    )
-                local_examples = shared.snapshot()
-                try:
-                    body = fixed_height(
-                        problem,
-                        height,
-                        config,
-                        examples=local_examples,
-                        deadline=deadline,
-                        stats=stats,
-                        prefix=f"ph{height}",
-                    )
-                except (CegisTimeout, SolverBudgetExceeded):
+            # Each worker owns a private stats object, merged under the lock
+            # when it finishes: ``fixed_height`` mutates stats freely, so a
+            # shared object would race.
+            local_stats = SynthesisStats()
+            try:
+                height = initial_height
+                while height <= config.max_height:
                     with state_lock:
-                        state["timed_out"] = True
-                    return
-                except EncodingUnsupported:
-                    return
-                shared.merge(local_examples)
-                with state_lock:
-                    if body is not None:
-                        if state["solution"] is None:
-                            state["solution"] = body
+                        if state["solution"] is not None:
+                            return
+                    local_stats.heights_tried += 1
+                    local_stats.max_height_reached = max(
+                        local_stats.max_height_reached, height
+                    )
+                    local_examples = shared.snapshot()
+                    try:
+                        body = fixed_height(
+                            problem,
+                            height,
+                            config,
+                            examples=local_examples,
+                            deadline=deadline,
+                            stats=local_stats,
+                            prefix=f"ph{height}",
+                        )
+                    except (CegisTimeout, SolverBudgetExceeded):
+                        with state_lock:
+                            state["timed_out"] = True
                         return
-                    height = state["next_height"]
-                    state["next_height"] += 1
+                    except EncodingUnsupported:
+                        return
+                    shared.merge(local_examples)
+                    with state_lock:
+                        if body is not None:
+                            if state["solution"] is None:
+                                state["solution"] = body
+                            return
+                        height = state["next_height"]
+                        state["next_height"] += 1
+            finally:
+                with state_lock:
+                    stats.merge(local_stats)
 
         threads = [
             threading.Thread(target=worker, args=(h,), daemon=True)
@@ -116,3 +147,35 @@ class ParallelHeightSynthesizer:
                 Solution(problem, state["solution"], self.name, elapsed), stats
             )
         return SynthesisOutcome(None, stats, timed_out=bool(state["timed_out"]))
+
+    # -- Process backend --------------------------------------------------------
+
+    def _synthesize_process(self, problem: SygusProblem) -> SynthesisOutcome:
+        from repro.service.jobs import TIMEOUT, SynthesisJob, parse_solution_text
+        from repro.service.pool import WorkerPool
+
+        config = self.config
+        start = time.monotonic()
+        jobs = [
+            SynthesisJob.from_problem(
+                problem,
+                solver=f"fixed-height@{height}",
+                config=config,
+                name=f"{problem.name}@h{height}",
+            )
+            for height in range(1, config.max_height + 1)
+        ]
+        with WorkerPool(workers=self.width) as pool:
+            winner, results = pool.race(jobs)
+        stats = SynthesisStats()
+        for result in results:
+            if result.stats:
+                stats.merge(SynthesisStats.from_json(result.stats))
+        if winner is not None and winner.solution_text:
+            body = parse_solution_text(problem, winner.solution_text)
+            elapsed = time.monotonic() - start
+            return SynthesisOutcome(
+                Solution(problem, body, self.name, elapsed), stats
+            )
+        timed_out = any(r.status == TIMEOUT for r in results)
+        return SynthesisOutcome(None, stats, timed_out=timed_out)

@@ -7,6 +7,10 @@ ceiling a portfolio could reach.  This module provides both:
 - :class:`SequentialPortfolio`: run several solvers on one problem under a
   shared budget, first solution wins (a practical meta-solver: deduction-
   heavy DryadSynth first, enumeration-heavy baselines as fallback);
+- :class:`ProcessPortfolio`: the same members raced concurrently on OS
+  processes via :mod:`repro.service` — each member gets the *full* budget
+  instead of a slice, the first solver to finish wins and the losers are
+  terminated;
 - :func:`virtual_best`: the VBS over a campaign's :class:`RunResult` list.
 """
 
@@ -97,6 +101,68 @@ class SequentialPortfolio:
                 )
                 return SynthesisOutcome(solution, stats)
             timed_out = timed_out or outcome.timed_out
+        return SynthesisOutcome(None, stats, timed_out=timed_out)
+
+
+class ProcessPortfolio:
+    """Race solver registry names concurrently in worker processes.
+
+    Unlike :class:`SequentialPortfolio` (whose members are in-process
+    factories), members are named so jobs can cross the process boundary;
+    any name accepted by :func:`repro.service.jobs.build_solver` works.
+    Solutions come back as serialized SyGuS text and are re-parsed into
+    terms here.
+    """
+
+    name = "portfolio-mp"
+
+    DEFAULT_MEMBERS = ("dryadsynth", "cegqi", "eusolver", "loopinvgen")
+
+    def __init__(
+        self,
+        members: Sequence[str] = DEFAULT_MEMBERS,
+        config: Optional[SynthConfig] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if not members:
+            raise ValueError("a portfolio needs at least one member")
+        self.members = tuple(members)
+        self.config = config or SynthConfig()
+        self.workers = workers or len(self.members)
+
+    def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
+        from repro.service.jobs import (
+            TIMEOUT,
+            SynthesisJob,
+            parse_solution_text,
+        )
+        from repro.service.pool import WorkerPool
+        from repro.sygus.problem import Solution
+
+        start = time.monotonic()
+        jobs = [
+            SynthesisJob.from_problem(
+                problem,
+                solver=member,
+                config=self.config,
+                name=f"{problem.name}:{member}",
+            )
+            for member in self.members
+        ]
+        with WorkerPool(workers=self.workers) as pool:
+            winner, results = pool.race(jobs)
+        stats = SynthesisStats()
+        for result in results:
+            if result.stats:
+                stats.merge(SynthesisStats.from_json(result.stats))
+        if winner is not None and winner.solution_text:
+            body = parse_solution_text(problem, winner.solution_text)
+            elapsed = time.monotonic() - start
+            solution = Solution(
+                problem, body, f"{self.name}:{winner.solver}", elapsed
+            )
+            return SynthesisOutcome(solution, stats)
+        timed_out = any(r.status == TIMEOUT for r in results)
         return SynthesisOutcome(None, stats, timed_out=timed_out)
 
 

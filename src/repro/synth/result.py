@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
 
 from repro.sygus.problem import Solution
 
@@ -30,6 +30,19 @@ class SynthesisStats:
         self.subproblems_created += other.subproblems_created
         self.subproblems_solved += other.subproblems_solved
         self.smt_checks += other.smt_checks
+
+    @staticmethod
+    def from_json(data: Dict) -> "SynthesisStats":
+        """Rebuild from a plain dict (e.g. a JobResult's ``stats`` payload).
+
+        Unknown keys are ignored and missing keys keep their defaults, so
+        records written by other versions still load.
+        """
+        stats = SynthesisStats()
+        for spec in fields(SynthesisStats):
+            if spec.name in data:
+                setattr(stats, spec.name, data[spec.name])
+        return stats
 
 
 @dataclass

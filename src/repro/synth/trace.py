@@ -11,7 +11,7 @@ observable surface the test suite uses to assert *how* problems were solved
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 
@@ -78,6 +78,22 @@ class SynthesisTrace:
 
     def render(self) -> str:
         return "\n".join(str(event) for event in self.events)
+
+    # -- Serialization (shared observability format with JobResult) --------------
+
+    def to_json(self) -> Dict:
+        """Machine-readable form (the ``--trace-json`` CLI flag's payload)."""
+        return {
+            "format": "repro-trace/1",
+            "events": [asdict(event) for event in self.events],
+        }
+
+    @staticmethod
+    def from_json(data: Dict) -> "SynthesisTrace":
+        """Inverse of :meth:`to_json`; event timestamps are preserved."""
+        trace = SynthesisTrace()
+        trace.events = [TraceEvent(**event) for event in data.get("events", [])]
+        return trace
 
     def __len__(self) -> int:
         return len(self.events)

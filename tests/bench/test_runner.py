@@ -97,6 +97,38 @@ class TestRunSuite:
         )
         assert [r.to_json() for r in again] == [r.to_json() for r in results]
 
+    def test_parallel_jobs_match_serial_outcomes(self, tmp_path):
+        benchmarks = [find_benchmark("linear-comb"), find_benchmark("count-up-8")]
+        serial = run_suite(
+            benchmarks,
+            solvers=("dryadsynth",),
+            timeout=20,
+            cache=ResultsCache(os.path.join(tmp_path, "c1.json")),
+        )
+        parallel = run_suite(
+            benchmarks,
+            solvers=("dryadsynth",),
+            timeout=20,
+            cache=ResultsCache(os.path.join(tmp_path, "c2.json")),
+            jobs=2,
+        )
+        assert [(r.benchmark, r.solver, r.solved) for r in serial] == [
+            (r.benchmark, r.solver, r.solved) for r in parallel
+        ]
+
+    def test_parallel_run_populates_legacy_cache(self, tmp_path):
+        path = os.path.join(tmp_path, "cache.json")
+        benchmarks = [find_benchmark("linear-comb")]
+        run_suite(
+            benchmarks,
+            solvers=("dryadsynth",),
+            timeout=20,
+            cache=ResultsCache(path),
+            jobs=2,
+        )
+        reloaded = ResultsCache(path)
+        assert reloaded.get(benchmarks[0], "dryadsynth", 20) is not None
+
 
 class TestEubackSoundness:
     def test_euback_only_returns_verified_solutions(self):

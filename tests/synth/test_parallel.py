@@ -54,3 +54,47 @@ class TestParallelHeights:
         # Workers at heights 1..3 all ran; the one that won reused shared
         # counterexamples, so the total iteration count stays bounded.
         assert outcome.stats.heights_tried >= 2
+
+    def test_stats_are_aggregated_from_all_workers(self):
+        # Regression test for the shared-stats data race: each worker now
+        # owns a private stats object merged at the end, so counters must
+        # still reflect every worker's activity.
+        problem = _max2_problem()
+        synthesizer = ParallelHeightSynthesizer(SynthConfig(timeout=60), width=3)
+        outcome = synthesizer.synthesize(problem)
+        assert outcome.stats.heights_tried >= 2
+        assert outcome.stats.max_height_reached >= 2
+        assert outcome.stats.smt_checks + outcome.stats.cegis_iterations > 0
+
+    def test_rejects_unknown_backend(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ParallelHeightSynthesizer(backend="fiber")
+
+
+class TestProcessBackend:
+    def test_solves_max2_across_processes(self):
+        problem = _max2_problem()
+        synthesizer = ParallelHeightSynthesizer(
+            SynthConfig(timeout=60), width=2, backend="process"
+        )
+        outcome = synthesizer.synthesize(problem)
+        assert outcome.solved
+        ok, _ = problem.verify(outcome.solution.body)
+        assert ok
+        assert outcome.stats.heights_tried >= 1
+
+    def test_unsolvable_within_height_cap(self):
+        params = tuple(int_var(f"v{i}") for i in range(4))
+        fun = SynthFun("f", params, INT, clia_grammar(params))
+        fx = fun.apply(params)
+        spec = and_(
+            *(ge(fx, p) for p in params), or_(*(eq(fx, p) for p in params))
+        )
+        problem = SygusProblem(fun, spec, params, name="max4")
+        synthesizer = ParallelHeightSynthesizer(
+            SynthConfig(timeout=30, max_height=2), width=2, backend="process"
+        )
+        outcome = synthesizer.synthesize(problem)
+        assert not outcome.solved

@@ -8,7 +8,12 @@ from repro.lang.sorts import INT
 from repro.sygus.grammar import clia_grammar
 from repro.sygus.problem import SygusProblem, SynthFun
 from repro.synth.config import SynthConfig
-from repro.synth.portfolio import SequentialPortfolio, vbs_summary, virtual_best
+from repro.synth.portfolio import (
+    ProcessPortfolio,
+    SequentialPortfolio,
+    vbs_summary,
+    virtual_best,
+)
 
 x, y = int_var("x"), int_var("y")
 
@@ -52,6 +57,20 @@ class TestSequentialPortfolio:
     def test_empty_portfolio_rejected(self):
         with pytest.raises(ValueError):
             SequentialPortfolio([], SynthConfig())
+
+
+class TestProcessPortfolio:
+    def test_races_members_and_reports_winner(self):
+        portfolio = ProcessPortfolio(config=SynthConfig(timeout=60), workers=2)
+        outcome = portfolio.synthesize(_max2_problem())
+        assert outcome.solved
+        assert outcome.solution.engine.startswith("portfolio-mp:")
+        ok, _ = _max2_problem().verify(outcome.solution.body)
+        assert ok
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPortfolio(members=(), config=SynthConfig())
 
 
 class TestVirtualBest:

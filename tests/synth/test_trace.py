@@ -47,6 +47,27 @@ class TestTraceRecording:
         assert "deduct" in str(event) and "max2" in str(event)
 
 
+class TestTraceJson:
+    def test_round_trip(self):
+        import json
+
+        trace = SynthesisTrace()
+        trace.record("deduct", "p")
+        trace.record("enum", "p", "miss", height=1)
+        trace.record("solved", "p", "direct")
+        data = json.loads(json.dumps(trace.to_json()))
+        assert data["format"] == "repro-trace/1"
+        clone = SynthesisTrace.from_json(data)
+        assert len(clone) == len(trace)
+        assert clone.events == trace.events
+        assert clone.heights_searched("p") == [1]
+        assert clone.solution_source() == "direct"
+
+    def test_empty_trace_round_trips(self):
+        clone = SynthesisTrace.from_json(SynthesisTrace().to_json())
+        assert len(clone) == 0
+
+
 class TestCooperativeIntegration:
     def test_trace_captures_the_run(self):
         trace = SynthesisTrace()

@@ -99,3 +99,109 @@ class TestMultiFunctionCli:
         assert code == 0
         err = capsys.readouterr().err
         assert "deduct" in err or "enum" in err
+
+
+class TestTraceJson:
+    def test_trace_json_writes_round_trippable_file(self, max2_file, tmp_path):
+        import json
+
+        from repro.synth.trace import SynthesisTrace
+
+        out = tmp_path / "trace.json"
+        code = main([max2_file, "--timeout", "60", "--trace-json", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-trace/1"
+        trace = SynthesisTrace.from_json(data)
+        assert len(trace) > 0
+        assert trace.of_kind("solved")
+
+
+UNSAT_HEIGHT_SL = """
+(set-logic LIA)
+(synth-fun f ((a Int) (b Int) (c Int) (d Int)) Int)
+(declare-var a Int)
+(declare-var b Int)
+(declare-var c Int)
+(declare-var d Int)
+(constraint (>= (f a b c d) a))
+(constraint (>= (f a b c d) b))
+(constraint (>= (f a b c d) c))
+(constraint (>= (f a b c d) d))
+(constraint (or (= (f a b c d) a) (= (f a b c d) b)
+                (= (f a b c d) c) (= (f a b c d) d)))
+(check-synth)
+"""
+
+
+class TestBatch:
+    def _suite_dir(self, tmp_path):
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "max2.sl").write_text(MAX2_SL)
+        (suite / "multi.sl").write_text(MULTI_SL)
+        return suite
+
+    def _run(self, argv, capsys):
+        code = main(["batch", "--no-cache"] + argv)
+        captured = capsys.readouterr()
+        import json
+
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        return code, records, captured.err
+
+    def test_serial_batch_over_directory(self, tmp_path, capsys):
+        suite = self._suite_dir(tmp_path)
+        code, records, err = self._run(
+            [str(suite), "--timeout", "30"], capsys
+        )
+        assert code == 0
+        assert sorted(r["name"] for r in records) == ["max2", "multi"]
+        assert all(r["status"] == "solved" for r in records)
+        assert "batch done: 2/2 solved" in err
+
+    def test_parallel_matches_serial_outcomes(self, tmp_path, capsys):
+        suite = self._suite_dir(tmp_path)
+        code1, serial, _ = self._run(
+            [str(suite), "--timeout", "30", "--jobs", "1"], capsys
+        )
+        code2, par, _ = self._run(
+            [str(suite), "--timeout", "30", "--jobs", "2"], capsys
+        )
+        assert code1 == code2 == 0
+        outcomes = lambda rs: {r["name"]: r["status"] for r in rs}
+        assert outcomes(serial) == outcomes(par)
+
+    def test_jsonl_written_to_out_file(self, tmp_path, capsys):
+        import json
+
+        suite = self._suite_dir(tmp_path)
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["batch", "--no-cache", str(suite), "--timeout", "30",
+             "--out", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        assert all("fingerprint" in json.loads(line) for line in lines)
+
+    def test_cache_reused_across_invocations(self, tmp_path, capsys):
+        suite = self._suite_dir(tmp_path)
+        cache = tmp_path / "cache"
+        argv = ["batch", str(suite), "--timeout", "30", "--cache", str(cache)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        import json
+
+        records = [json.loads(l) for l in captured.out.splitlines()]
+        assert all(r["from_cache"] for r in records)
+        assert "cache_hits=2" in captured.err
+
+    def test_missing_path_errors(self, capsys):
+        code = main(["batch", "/nonexistent/suite"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
