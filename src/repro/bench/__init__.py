@@ -8,6 +8,7 @@ variables, and ad-hoc grammar operators.
 
 from repro.bench.suite import Benchmark, full_suite, suite_by_track
 from repro.bench.runner import RunResult, SOLVER_NAMES, make_solver, run_suite
+from repro.bench.quick_bench import demo_subset, run_quick_bench
 from repro.bench import report
 
 __all__ = [
@@ -18,5 +19,7 @@ __all__ = [
     "SOLVER_NAMES",
     "make_solver",
     "run_suite",
+    "demo_subset",
+    "run_quick_bench",
     "report",
 ]

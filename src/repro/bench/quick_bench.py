@@ -1,0 +1,122 @@
+"""Quick-bench smoke run: the demo subset under a small per-problem budget.
+
+A CI-sized benchmark pass (``python -m repro.bench.quick_bench``) that runs
+one solver over the 85-problem demo subset — the generated suite minus four
+slow-but-solved stragglers — and writes two artifacts:
+
+- ``quick_bench.jsonl``: one JSON record per problem (solved, wall time,
+  and the SMT-substrate counters: DPLL(T) rounds, theory lemmas,
+  assumption-core skips, learnt clauses deleted);
+- ``quick_bench_summary.json``: the aggregate totals.
+
+The point is per-PR perf visibility: a regression in the incremental SMT
+core shows up as a jump in cumulative rounds or a drop in solved count
+right in the workflow artifact, without waiting for a full campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import asdict
+from typing import Dict, List
+
+from repro.bench.runner import make_solver
+from repro.bench.suite import full_suite
+from repro.synth.result import SynthesisOutcome, SynthesisStats
+
+#: Excluded from the demo subset: solvable but slow enough to dominate a
+#: smoke run's wall clock (see docs/SERVICE.md "Measured behaviour").
+EXCLUDED = frozenset({"qm-floor0", "qm-max2", "range-init-64", "step2-64"})
+
+
+def demo_subset():
+    """The 85-problem demo subset of the generated suite."""
+    return [b for b in full_suite() if b.name not in EXCLUDED]
+
+
+def run_quick_bench(
+    solver_name: str = "dryadsynth", timeout: float = 2.0
+) -> Dict:
+    """Run the demo subset; returns ``{"records": [...], "summary": {...}}``."""
+    records: List[Dict] = []
+    totals = SynthesisStats()
+    solved = 0
+    start = time.monotonic()
+    for benchmark in demo_subset():
+        problem = benchmark.problem()
+        solver = make_solver(solver_name, timeout)
+        bench_start = time.monotonic()
+        try:
+            outcome = solver.synthesize(problem)
+        except Exception:
+            outcome = SynthesisOutcome(None, SynthesisStats(), timed_out=True)
+        wall = time.monotonic() - bench_start
+        stats = outcome.stats
+        totals.merge(stats)
+        solved += int(outcome.solved)
+        records.append(
+            {
+                "benchmark": benchmark.name,
+                "track": benchmark.track,
+                "solver": solver_name,
+                "solved": outcome.solved,
+                "timed_out": outcome.timed_out,
+                "wall_seconds": round(wall, 4),
+                "smt_checks": stats.smt_checks,
+                "smt_rounds": stats.smt_rounds,
+                "theory_lemmas": stats.theory_lemmas,
+                "assumption_core_skips": stats.assumption_core_skips,
+                "learnt_clauses_deleted": stats.learnt_clauses_deleted,
+            }
+        )
+    summary = {
+        "solver": solver_name,
+        "timeout_seconds": timeout,
+        "problems": len(records),
+        "solved": solved,
+        "wall_seconds": round(time.monotonic() - start, 2),
+        "stats": asdict(totals),
+    }
+    return {"records": records, "summary": summary}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the demo-subset quick bench and write JSONL artifacts."
+    )
+    parser.add_argument("--solver", default="dryadsynth")
+    parser.add_argument(
+        "--timeout", type=float, default=2.0, help="per-problem budget (s)"
+    )
+    parser.add_argument(
+        "--out", default="quick-bench", help="output directory for artifacts"
+    )
+    args = parser.parse_args(argv)
+    result = run_quick_bench(args.solver, args.timeout)
+    os.makedirs(args.out, exist_ok=True)
+    jsonl_path = os.path.join(args.out, "quick_bench.jsonl")
+    with open(jsonl_path, "w") as handle:
+        for record in result["records"]:
+            handle.write(json.dumps(record) + "\n")
+    summary_path = os.path.join(args.out, "quick_bench_summary.json")
+    with open(summary_path, "w") as handle:
+        json.dump(result["summary"], handle, indent=2)
+        handle.write("\n")
+    summary = result["summary"]
+    stats = summary["stats"]
+    print(
+        f"quick-bench: {summary['solved']}/{summary['problems']} solved "
+        f"in {summary['wall_seconds']}s "
+        f"(rounds={stats['smt_rounds']} lemmas={stats['theory_lemmas']} "
+        f"core_skips={stats['assumption_core_skips']} "
+        f"deleted={stats['learnt_clauses_deleted']})"
+    )
+    print(f"wrote {jsonl_path} and {summary_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

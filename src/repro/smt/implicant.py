@@ -10,7 +10,7 @@ boolean model to the theory solver" optimisation of lazy SMT.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.lang.ast import Kind, Term
 from repro.smt.linear import LinAtom
@@ -130,11 +130,21 @@ class ImplicantExtractor:
 
 
 def extract_implicant(
-    encoder: CnfEncoder, sat_model: Dict[int, bool]
+    encoder: CnfEncoder,
+    sat_model: Dict[int, bool],
+    extra: Sequence[Term] = (),
 ) -> Dict[LinAtom, bool]:
-    """Atoms (with polarity) sufficient to satisfy everything asserted."""
+    """Atoms (with polarity) sufficient to satisfy everything asserted.
+
+    ``extra`` holds additional prepared formulas the model must satisfy —
+    the assumptions of the current ``solve`` call, whose atoms must reach
+    the theory solver just like those of the permanent assertions.
+    """
     extractor = ImplicantExtractor(encoder, sat_model)
     for formula in encoder.asserted:
         assert extractor.truth(formula), "SAT model does not satisfy the skeleton"
+        extractor.collect(formula, True)
+    for formula in extra:
+        assert extractor.truth(formula), "SAT model does not satisfy an assumption"
         extractor.collect(formula, True)
     return extractor.needed

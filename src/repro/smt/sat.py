@@ -2,11 +2,15 @@
 
 Implements the standard modern architecture: two-watched-literal propagation,
 first-UIP conflict analysis with clause learning, VSIDS-style activity
-decision heuristic, phase saving, and Luby-sequence restarts.
+decision heuristic, phase saving, Luby-sequence restarts, MiniSat-style
+solving under assumptions with final-conflict analysis (unsat assumption
+cores), and an activity/LBD-aware learned-clause database reduction policy.
 
 Literals use the DIMACS convention: variable ``v`` (1-based) appears
 positively as ``v`` and negatively as ``-v``.  The solver is incremental in
-the sense required by lazy SMT: clauses may be added between ``solve`` calls.
+the sense required by lazy SMT: clauses may be added between ``solve`` calls,
+and ``solve(assumptions=[...])`` decides satisfiability under a temporary
+conjunction of literals without polluting the clause database.
 """
 
 from __future__ import annotations
@@ -23,10 +27,14 @@ class SatSolver:
 
     def __init__(self) -> None:
         #: Optional wall-clock deadline (time.monotonic seconds); checked
-        #: every few hundred conflicts inside solve().
+        #: every few hundred conflicts *and* decisions inside solve().
         self.deadline = None
+        #: After an assumption-unsat ``solve``: the subset of the passed
+        #: assumption literals whose conjunction is unsatisfiable with the
+        #: clause database.  Empty when the database alone is unsat.
+        self.unsat_core: List[int] = []
         self._num_vars = 0
-        self._clauses: List[List[int]] = []
+        self._clauses: List[Optional[List[int]]] = []
         self._watches: Dict[int, List[int]] = {}
         self._assign: List[int] = [0]  # indexed by var; 0 unset, 1 true, -1 false
         self._level: List[int] = [0]
@@ -41,6 +49,17 @@ class SatSolver:
         self._var_decay = 0.95
         self._ok = True
         self._conflicts = 0
+        self._decisions = 0
+        # Learned-clause database: clause index -> activity, plus the LBD
+        # (number of distinct decision levels) recorded at learning time.
+        # Clauses added through add_clause() are *permanent* (problem clauses
+        # and theory lemmas); only solve()-learned clauses are reducible.
+        self._learnts: Dict[int, float] = {}
+        self._lbd: Dict[int, int] = {}
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._max_learnts = 4000.0
+        self._learnts_deleted = 0
 
     # -- Problem construction -------------------------------------------------
 
@@ -130,6 +149,9 @@ class SatSolver:
                 ci = watching[i]
                 i += 1
                 clause = self._clauses[ci]
+                if clause is None:
+                    # Deleted learnt clause; drop the stale watch entry.
+                    continue
                 if clause[0] == -lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 if clause[1] != -lit:
@@ -168,6 +190,25 @@ class SatSolver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            # Rebuild the order heap: stale entries keep their pre-rescale
+            # keys and would dominate every decision until lazily popped.
+            self._order_heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._assign[v] == 0
+            ]
+            heapq.heapify(self._order_heap)
+
+    def _bump_clause(self, clause_index: int) -> None:
+        activity = self._learnts.get(clause_index)
+        if activity is None:
+            return  # permanent clause: no activity bookkeeping
+        activity += self._cla_inc
+        self._learnts[clause_index] = activity
+        if activity > 1e20:
+            for index in self._learnts:
+                self._learnts[index] *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _analyze(self, conflict: int) -> tuple[List[int], int]:
         """First-UIP conflict analysis; returns (learnt clause, backtrack level)."""
@@ -177,6 +218,7 @@ class SatSolver:
         lit = 0
         index = len(self._trail) - 1
         current_level = len(self._trail_lim)
+        self._bump_clause(conflict)
         reason_lits: Sequence[int] = self._clauses[conflict]
         while True:
             for q in reason_lits:
@@ -199,6 +241,7 @@ class SatSolver:
                 break
             reason = self._reason[abs(lit)]
             assert reason is not None, "UIP literal must have a reason"
+            self._bump_clause(reason)
             reason_lits = [q for q in self._clauses[reason] if q != lit]
         learnt[0] = -lit
         if len(learnt) == 1:
@@ -209,6 +252,35 @@ class SatSolver:
                 max_i = i
         learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
         return learnt, self._level[abs(learnt[1])]
+
+    def _analyze_final(self, failed: int) -> List[int]:
+        """Final-conflict analysis for a failed assumption literal.
+
+        ``failed`` is an assumption whose complement is implied by the
+        clauses together with the *earlier* assumption decisions.  Walking
+        the implication graph backwards from it yields the subset of
+        assumption decisions responsible — the unsat assumption core.
+        """
+        core = [failed]
+        if not self._trail_lim:
+            return core  # falsified at level 0: unsat with no help needed
+        seen = [False] * (self._num_vars + 1)
+        seen[abs(failed)] = True
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                if self._level[var] > 0:
+                    core.append(lit)  # an assumption decision
+            else:
+                for q in self._clauses[reason]:
+                    if abs(q) != var and self._level[abs(q)] > 0:
+                        seen[abs(q)] = True
+            seen[var] = False
+        return core
 
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
@@ -224,6 +296,36 @@ class SatSolver:
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
 
+    # -- Learned-clause database reduction ---------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Delete the less useful half of the reducible learnt clauses.
+
+        Called at decision level 0.  Binary clauses, glue clauses (LBD <= 3)
+        and clauses locked as the reason of a level-0 implication are kept;
+        the rest are ranked by activity and the lower half dropped.  Watch
+        entries are removed lazily by propagation.  Deleting learnt clauses
+        is always sound (they are implied by the permanent clauses) and
+        keeps long-lived incremental sessions bounded in memory.
+        """
+        locked = {r for r in self._reason if r is not None}
+        candidates = [
+            ci
+            for ci in self._learnts
+            if ci not in locked
+            and len(self._clauses[ci]) > 2
+            and self._lbd.get(ci, 9) > 3
+        ]
+        candidates.sort(key=lambda ci: self._learnts[ci])
+        for ci in candidates[: len(candidates) // 2]:
+            self._clauses[ci] = None
+            del self._learnts[ci]
+            self._lbd.pop(ci, None)
+            self._learnts_deleted += 1
+        # Let the database grow a little before the next reduction so that
+        # mostly-glue databases cannot trigger a reduction every restart.
+        self._max_learnts *= 1.1
+
     # -- Search ------------------------------------------------------------------
 
     def _decide(self) -> int:
@@ -236,11 +338,29 @@ class SatSolver:
                 return var if self._phase[var] else -var
         return 0
 
-    def solve(self) -> Optional[Dict[int, bool]]:
-        """Search for a model; returns ``{var: bool}`` or None if unsat."""
+    def _check_deadline(self) -> None:
+        import time
+
+        if time.monotonic() > self.deadline:
+            self._backtrack(0)
+            raise SatSolver.Interrupted("SAT deadline exceeded")
+
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+        """Search for a model; returns ``{var: bool}`` or None if unsat.
+
+        With ``assumptions``, decides satisfiability of the clause database
+        under the temporary conjunction of the given literals (MiniSat-style:
+        assumptions are enqueued as the first decisions).  On an
+        assumption-unsat outcome, :attr:`unsat_core` names the subset of
+        assumptions responsible; when it is empty the database itself is
+        unsat and the solver stays unsat for every future call.
+        """
+        self.unsat_core = []
         if not self._ok:
             return None
         self._backtrack(0)
+        if assumptions:
+            self._ensure_vars(assumptions)
         restart_base = 64
         luby_index = 0
         conflicts_since_restart = 0
@@ -250,15 +370,12 @@ class SatSolver:
                 self._conflicts += 1
                 conflicts_since_restart += 1
                 if self.deadline is not None and self._conflicts % 256 == 0:
-                    import time
-
-                    if time.monotonic() > self.deadline:
-                        self._backtrack(0)
-                        raise SatSolver.Interrupted("SAT deadline exceeded")
+                    self._check_deadline()
                 if not self._trail_lim:
                     self._ok = False
                     return None
                 learnt, back_level = self._analyze(conflict)
+                lbd = len({self._level[abs(lit)] for lit in learnt})
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     if self._value(learnt[0]) == -1:
@@ -272,18 +389,48 @@ class SatSolver:
                     self._watch(learnt[0], index)
                     self._watch(learnt[1], index)
                     self._uncheckedEnqueue(learnt[0], index)
+                    self._learnts[index] = self._cla_inc
+                    self._lbd[index] = lbd
                 self._var_inc /= self._var_decay
-                if conflicts_since_restart >= restart_base * luby(luby_index):
+                self._cla_inc /= self._cla_decay
+                if (
+                    conflicts_since_restart >= restart_base * luby(luby_index)
+                    or len(self._learnts) >= self._max_learnts + 256
+                ):
                     luby_index += 1
                     conflicts_since_restart = 0
                     self._backtrack(0)
+                    if len(self._learnts) > self._max_learnts:
+                        self._reduce_db()
                 continue
-            lit = self._decide()
+            # Decision path: re-assert pending assumptions first, then pick
+            # a free variable.  Deadline is checked here too — propagation-
+            # heavy instances may produce few conflicts yet run for long.
+            self._decisions += 1
+            if self.deadline is not None and self._decisions % 256 == 0:
+                self._check_deadline()
+            lit = 0
+            while len(self._trail_lim) < len(assumptions):
+                p = assumptions[len(self._trail_lim)]
+                value = self._value(p)
+                if value == 1:
+                    # Already satisfied: open a dummy decision level so the
+                    # remaining assumptions keep their positional levels.
+                    self._trail_lim.append(len(self._trail))
+                elif value == -1:
+                    self.unsat_core = self._analyze_final(p)
+                    self._backtrack(0)
+                    return None
+                else:
+                    lit = p
+                    break
             if lit == 0:
-                return {
-                    var: self._assign[var] == 1
-                    for var in range(1, self._num_vars + 1)
-                }
+                lit = self._decide()
+                if lit == 0:
+                    return {
+                        var: self._assign[var] == 1
+                        for var in range(1, self._num_vars + 1)
+                    }
             self._trail_lim.append(len(self._trail))
             self._uncheckedEnqueue(lit, None)
 
@@ -294,6 +441,16 @@ class SatSolver:
     @property
     def num_conflicts(self) -> int:
         return self._conflicts
+
+    @property
+    def num_learnts(self) -> int:
+        """Learnt clauses currently in the database."""
+        return len(self._learnts)
+
+    @property
+    def num_learnts_deleted(self) -> int:
+        """Learnt clauses deleted by database reductions over the lifetime."""
+        return self._learnts_deleted
 
 
 def luby(x: int) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lang.ast import Kind, Term
 from repro.lang.builders import not_
@@ -43,6 +43,11 @@ class Result:
     status: Status
     model: Optional[Dict[str, Value]] = None
     rounds: int = 0
+    #: On an UNSAT outcome of ``solve(assumptions=...)``: the subset of the
+    #: passed assumption terms whose conjunction with the assertions is
+    #: unsatisfiable.  Empty means the assertions alone are unsat — no
+    #: choice of assumptions can ever make the query satisfiable.
+    unsat_core: Tuple[Term, ...] = ()
 
     @property
     def is_sat(self) -> bool:
@@ -60,6 +65,8 @@ class SmtStats:
     checks: int = 0
     rounds: int = 0
     theory_conflicts: int = 0
+    #: Theory lemmas asserted as permanent blocking clauses.
+    lemmas: int = 0
 
 
 class SmtSolver:
@@ -70,6 +77,14 @@ class SmtSolver:
     calls on one instance — CEGIS-style loops that strengthen a query keep
     everything already derived.  Use :meth:`reset` (or a fresh instance, as
     :func:`check_sat`/:func:`is_valid` do) for isolated one-shot checks.
+
+    Two mechanisms scope assertions without discarding solver state:
+
+    - :meth:`solve` accepts *assumptions* — Bool terms required for that
+      call only.  An UNSAT answer then carries the unsat assumption core.
+    - :meth:`push`/:meth:`pop` open and close assertion scopes, implemented
+      with activation literals so popped clauses are disabled, never
+      removed, and everything learned while they were active survives.
     """
 
     def __init__(
@@ -84,22 +99,60 @@ class SmtSolver:
         self.stats = SmtStats()
         self._encoder = CnfEncoder()
         self._trivially_false = False
+        self._scopes: List[int] = []  # activation literal per open scope
+        self._scope_marks: List[int] = []  # encoder.asserted length at push
 
     def add(self, formula: Term) -> None:
         """Assert a formula (incremental interface).
 
         Clauses, atom canonicalisation and learned theory lemmas persist
         across :meth:`solve` calls, so CEGIS-style loops that strengthen one
-        query keep everything the solver already derived.
+        query keep everything the solver already derived.  Inside an open
+        scope (see :meth:`push`) the assertion is guarded by the scope's
+        activation literal and dies with the scope.
         """
         if formula.sort is not BOOL:
             raise ValueError("add() expects a Bool-sorted formula")
         formula = simplify(formula)
         if formula.kind is Kind.CONST:
             if not formula.payload:
-                self._trivially_false = True
+                if self._scopes:
+                    # False inside a scope kills only that scope.
+                    self._encoder.sat.add_clause([-self._scopes[-1]])
+                else:
+                    self._trivially_false = True
             return
-        self._encoder.assert_formula(formula)
+        self._encoder.assert_formula(
+            formula, guard=self._scopes[-1] if self._scopes else None
+        )
+
+    def push(self) -> None:
+        """Open an assertion scope; assertions until :meth:`pop` are scoped."""
+        self._scopes.append(self._encoder.sat.new_var())
+        self._scope_marks.append(len(self._encoder.asserted))
+
+    def pop(self) -> None:
+        """Close the innermost scope, retracting its assertions.
+
+        The scope's activation literal is permanently falsified, which
+        vacuously satisfies every clause asserted in the scope — learned
+        clauses, atom canonicalisation and theory lemmas all survive.
+        """
+        if not self._scopes:
+            raise ValueError("pop() without a matching push()")
+        act = self._scopes.pop()
+        mark = self._scope_marks.pop()
+        del self._encoder.asserted[mark:]
+        self._encoder.sat.add_clause([-act])
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scopes)
+
+    @property
+    def learnt_clauses_deleted(self) -> int:
+        """Learnt clauses dropped by the SAT core's DB reduction (lifetime)."""
+        return self._encoder.sat.num_learnts_deleted
 
     def reset(self) -> None:
         """Drop every asserted formula, learned lemma and atom table.
@@ -109,6 +162,8 @@ class SmtSolver:
         """
         self._encoder = CnfEncoder()
         self._trivially_false = False
+        self._scopes = []
+        self._scope_marks = []
 
     def check(self, formula: Term) -> Result:
         """Incremental satisfiability check: ``add(formula)`` then :meth:`solve`.
@@ -126,14 +181,37 @@ class SmtSolver:
         self.add(formula)
         return self.solve()
 
-    def solve(self) -> Result:
-        """Run the lazy DPLL(T) loop over everything asserted so far."""
+    def solve(self, assumptions: Sequence[Term] = ()) -> Result:
+        """Run the lazy DPLL(T) loop over everything asserted so far.
+
+        ``assumptions`` are Bool terms additionally required *for this call
+        only*; nothing about them is retained except what the solver learned
+        while exploring them.  When the answer is UNSAT, the result's
+        :attr:`~Result.unsat_core` is the subset of assumptions responsible
+        (empty when the permanent assertions are unsat by themselves).
+        """
         self.stats.checks += 1
         if self._trivially_false:
             return Result(Status.UNSAT, None, 0)
         encoder = self._encoder
-        if not encoder.asserted:
+        assumption_lits: List[int] = []
+        lit_to_term: Dict[int, Term] = {}
+        prepared_assumptions: List[Term] = []
+        for term in assumptions:
+            if term.sort is not BOOL:
+                raise ValueError("assumptions must be Bool-sorted formulas")
+            simplified = simplify(term)
+            if simplified.kind is Kind.CONST:
+                if simplified.payload:
+                    continue
+                return Result(Status.UNSAT, None, 0, unsat_core=(term,))
+            prepared, lit = encoder.prepare_literal(simplified)
+            prepared_assumptions.append(prepared)
+            assumption_lits.append(lit)
+            lit_to_term.setdefault(lit, term)
+        if not encoder.asserted and not prepared_assumptions:
             return Result(Status.SAT, {}, 0)
+        sat_assumptions = list(self._scopes) + assumption_lits
         rounds = 0
         while True:
             rounds += 1
@@ -144,14 +222,20 @@ class SmtSolver:
                 raise SolverBudgetExceeded("SMT deadline exceeded")
             encoder.sat.deadline = self.deadline
             try:
-                sat_model = encoder.sat.solve()
+                sat_model = encoder.sat.solve(assumptions=sat_assumptions)
             except encoder.sat.Interrupted as exc:
                 raise SolverBudgetExceeded(str(exc)) from exc
             if sat_model is None:
-                return Result(Status.UNSAT, None, rounds)
+                failed = set(encoder.sat.unsat_core)
+                core = tuple(
+                    lit_to_term[lit]
+                    for lit in assumption_lits
+                    if lit in failed and lit in lit_to_term
+                )
+                return Result(Status.UNSAT, None, rounds, unsat_core=core)
             # Only the atoms of a satisfying implicant go to the theory
             # solver; conflicts then yield small, reusable lemmas.
-            needed = extract_implicant(encoder, sat_model)
+            needed = extract_implicant(encoder, sat_model, prepared_assumptions)
             constraints = []
             for atom, positive in needed.items():
                 var = encoder.atom_vars[atom]
@@ -165,7 +249,9 @@ class SmtSolver:
             except BudgetExceeded as exc:
                 raise SolverBudgetExceeded(str(exc)) from exc
             if feasible:
-                model = self._build_model(payload, encoder, sat_model)
+                model = self._build_model(
+                    payload, encoder, sat_model, prepared_assumptions
+                )
                 return Result(Status.SAT, model, rounds)
             self.stats.theory_conflicts += 1
             core = payload
@@ -173,6 +259,7 @@ class SmtSolver:
                 return Result(Status.UNSAT, None, rounds)
             core = self._minimize_core(constraints, core)
             encoder.sat.add_clause([-lit for lit in core])
+            self.stats.lemmas += 1
 
     def _minimize_core(self, constraints, core):
         """Deletion-based core shrinking: smaller cores mean stronger lemmas.
@@ -193,8 +280,13 @@ class SmtSolver:
             trial = current[:index] + current[index + 1 :]
             checks_left -= 1
             try:
-                feasible, payload = check_lia([(by_tag[t], t) for t in trial], 60)
+                feasible, payload = check_lia(
+                    [(by_tag[t], t) for t in trial], 60, self.deadline
+                )
             except BudgetExceeded:
+                # Node budget or deadline hit: stop shrinking, keep what we
+                # have — minimisation must never overshoot a near-expired
+                # deadline.
                 return current
             if feasible:
                 index += 1
@@ -209,11 +301,12 @@ class SmtSolver:
         int_model: Dict[str, int],
         encoder: CnfEncoder,
         sat_model: Dict[int, bool],
+        extra: Sequence[Term] = (),
     ) -> Dict[str, Value]:
         model: Dict[str, Value] = dict(int_model)
         for name, var in encoder.bool_vars.items():
             model[name] = sat_model[var]
-        for formula in encoder.asserted:
+        for formula in list(encoder.asserted) + list(extra):
             for var_term in free_vars(formula):
                 name = var_term.payload
                 if name not in model:

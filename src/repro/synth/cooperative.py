@@ -146,6 +146,15 @@ class CooperativeSynthesizer:
                     break
         except (CegisTimeout, SolverBudgetExceeded):
             timed_out = True
+        self._record(
+            "smt",
+            problem.name,
+            detail=(
+                f"rounds={stats.smt_rounds} lemmas={stats.theory_lemmas} "
+                f"core_skips={stats.assumption_core_skips} "
+                f"deleted={stats.learnt_clauses_deleted}"
+            ),
+        )
         if graph.source.solved:
             body = graph.source.solution
             if config.minimize_solutions:
@@ -276,6 +285,10 @@ class CooperativeSynthesizer:
             return
         node.solution = body
         stats.subproblems_solved += 1
+        # A solved node never enumerates again: release its parked
+        # incremental solver sessions (clause DBs, atom tables) right away
+        # instead of holding them until the whole run finishes.
+        node.sessions.clear()
         self._record("solved", node.problem.name, detail="direct")
         self._propagate(node, graph, ded_queue, stats, deadline)
 

@@ -15,7 +15,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.ast import Kind, Term
-from repro.lang.builders import and_, int_const
+from repro.lang.builders import and_, bool_var, implies, int_const
 from repro.lang.evaluator import EvaluationError, Value, evaluate
 from repro.lang.traversal import rewrite_bottom_up
 from repro.smt.solver import SmtSolver, SolverBudgetExceeded, Status
@@ -122,12 +122,16 @@ def _seeded_bounds(problem: SygusProblem, schedule) -> tuple:
 class FixedHeightSession:
     """A resumable Algorithm-2 run at one (problem, height).
 
-    The session owns the symbolic encoder and one incremental SMT solver per
-    constant bound; each CEGIS iteration only asserts the newest
-    counterexample, so clause learning and theory lemmas persist — both
-    across iterations and across *preempted time slices* (the cooperative
-    loop parks a session when its slice expires and resumes it later with
-    all solver state intact).
+    The session owns the symbolic encoder and **one** incremental SMT solver;
+    constant-bound widening is done by solving under an assumption literal
+    that activates the current bound's range constraints, so clause learning,
+    atom canonicalisation and theory lemmas are shared across every bound and
+    every CEGIS iteration.  Each iteration only asserts the newest
+    counterexample, and solver state also persists across *preempted time
+    slices* (the cooperative loop parks a session when its slice expires and
+    resumes it later).  When a query is unsat without the bound guard in the
+    unsat assumption core, no wider bound can help and the widening loop
+    stops early.
     """
 
     def __init__(
@@ -142,17 +146,29 @@ class FixedHeightSession:
         self.height = height
         self.config = config
         self.stats = stats if stats is not None else SynthesisStats()
-        self.encoder = make_encoder(problem, height, prefix or f"fh{height}")
+        self.prefix = prefix or f"fh{height}"
+        self.encoder = make_encoder(problem, height, self.prefix)
         if getattr(self.encoder, "has_const_unknowns", True):
             self.bounds = _seeded_bounds(problem, config.const_bounds)
         else:
             self.bounds = config.const_bounds[:1]
-        self._solvers: Dict[int, SmtSolver] = {}
-        self._asserted: Dict[int, int] = {}
+        self._solver: Optional[SmtSolver] = None
+        self._bound_guards: Dict[int, Term] = {}
+        self._asserted_examples = 0
+        # Bounds below this index are permanently unsat: their guard appeared
+        # in an unsat assumption core, and example sets only ever grow.
+        self._first_viable = 0
+        self._lemmas_seen = 0
+        self._deleted_seen = 0
         self.candidate: Optional[Term] = self.encoder.initial_candidate()
         self._candidate_from_ind = False
         self.rounds = 0
         self.exhausted = False
+
+    @property
+    def solver(self) -> Optional[SmtSolver]:
+        """The session's single incremental solver (None until first query)."""
+        return self._solver
 
     def run(
         self, examples: List[Example], deadline: Optional[float] = None
@@ -201,38 +217,74 @@ class FixedHeightSession:
         if deadline is not None and time.monotonic() > deadline:
             raise CegisTimeout("fixed-height deadline exceeded")
 
+    def _bound_guard(self, solver: SmtSolver, const_bound: int) -> Term:
+        """The assumption literal activating ``const_bound``'s constraints.
+
+        The implication ``guard -> static_constraints(bound)`` is asserted
+        permanently on first use; while the guard is not assumed, it is a
+        free variable and the constraints are vacuous.
+        """
+        guard = self._bound_guards.get(const_bound)
+        if guard is None:
+            guard = bool_var(f"{self.prefix}!bound{const_bound}")
+            solver.add(
+                implies(
+                    guard,
+                    self.encoder.static_constraints(
+                        self.config.coeff_bound, const_bound
+                    ),
+                )
+            )
+            self._bound_guards[const_bound] = guard
+        return guard
+
     def _ind_synth(
         self, examples: List[Example], deadline: Optional[float]
     ) -> Optional[Term]:
         if not examples:
             return self.encoder.initial_candidate()
-        for const_bound in self.bounds:
-            self._check_deadline(deadline)
-            solver = self._solvers.get(const_bound)
-            if solver is None:
-                solver = SmtSolver(lia_node_budget=self.config.lia_node_budget)
-                solver.add(
-                    self.encoder.static_constraints(
-                        self.config.coeff_bound, const_bound
+        solver = self._solver
+        if solver is None:
+            solver = self._solver = SmtSolver(
+                lia_node_budget=self.config.lia_node_budget
+            )
+        solver.deadline = deadline
+        for example in examples[self._asserted_examples :]:
+            solver.add(inductive_query(self.problem, self.encoder, [example]))
+        self._asserted_examples = len(examples)
+        stats = self.stats
+        rounds_before = solver.stats.rounds
+        try:
+            for index in range(self._first_viable, len(self.bounds)):
+                const_bound = self.bounds[index]
+                self._check_deadline(deadline)
+                guard = self._bound_guard(solver, const_bound)
+                stats.smt_checks += 1
+                result = solver.solve(assumptions=[guard])
+                if result.status is Status.SAT:
+                    assert result.model is not None
+                    return self.encoder.decode(
+                        result.model, self.problem.synth_fun.params
                     )
-                )
-                self._solvers[const_bound] = solver
-                self._asserted[const_bound] = 0
-            for example in examples[self._asserted[const_bound] :]:
-                solver.add(inductive_query(self.problem, self.encoder, [example]))
-            self._asserted[const_bound] = len(examples)
-            solver.deadline = deadline
-            self.stats.smt_checks += 1
-            try:
-                result = solver.solve()
-            except SolverBudgetExceeded as exc:
-                raise CegisTimeout(str(exc)) from exc
-            if result.status is Status.SAT:
-                assert result.model is not None
-                return self.encoder.decode(
-                    result.model, self.problem.synth_fun.params
-                )
-        return None
+                if guard not in result.unsat_core:
+                    # The examples are inconsistent with the encoding no
+                    # matter how wide the constant range: skip the rest of
+                    # the widening schedule.
+                    stats.assumption_core_skips += len(self.bounds) - index - 1
+                    break
+                # This bound is dead for the current examples, hence for
+                # every future (superset) example set too.
+                self._first_viable = index + 1
+            return None
+        except SolverBudgetExceeded as exc:
+            raise CegisTimeout(str(exc)) from exc
+        finally:
+            stats.smt_rounds += solver.stats.rounds - rounds_before
+            stats.theory_lemmas += solver.stats.lemmas - self._lemmas_seen
+            self._lemmas_seen = solver.stats.lemmas
+            deleted = solver.learnt_clauses_deleted
+            stats.learnt_clauses_deleted += deleted - self._deleted_seen
+            self._deleted_seen = deleted
 
 
 def fixed_height(
@@ -291,10 +343,10 @@ class HeightEnumerationSynthesizer:
         )
         start = time.monotonic()
         examples: List[Example] = []
-        try:
-            for height in range(1, config.max_height + 1):
-                stats.heights_tried += 1
-                stats.max_height_reached = height
+        for height in range(1, config.max_height + 1):
+            stats.heights_tried += 1
+            stats.max_height_reached = height
+            try:
                 body = fixed_height(
                     problem,
                     height,
@@ -303,12 +355,18 @@ class HeightEnumerationSynthesizer:
                     deadline=deadline,
                     stats=stats,
                 )
-                if body is not None:
-                    elapsed = time.monotonic() - start
-                    solution = Solution(problem, body, self.name, elapsed)
-                    return SynthesisOutcome(solution, stats)
-        except (CegisTimeout, SolverBudgetExceeded):
-            return SynthesisOutcome(None, stats, timed_out=True)
-        except EncodingUnsupported:
-            return SynthesisOutcome(None, stats)
+            except (CegisTimeout, SolverBudgetExceeded):
+                # A budget exception is only a *global* timeout when the wall
+                # clock actually expired; a per-query budget (e.g. the LIA
+                # node budget) exhausted at one height must not abandon the
+                # whole enumeration — the next height may still be easy.
+                if deadline is not None and time.monotonic() > deadline:
+                    return SynthesisOutcome(None, stats, timed_out=True)
+                continue
+            except EncodingUnsupported:
+                return SynthesisOutcome(None, stats)
+            if body is not None:
+                elapsed = time.monotonic() - start
+                solution = Solution(problem, body, self.name, elapsed)
+                return SynthesisOutcome(solution, stats)
         return SynthesisOutcome(None, stats)

@@ -20,6 +20,10 @@ class SynthesisStats:
     subproblems_created: int = 0
     subproblems_solved: int = 0
     smt_checks: int = 0
+    smt_rounds: int = 0
+    theory_lemmas: int = 0
+    assumption_core_skips: int = 0
+    learnt_clauses_deleted: int = 0
 
     def merge(self, other: "SynthesisStats") -> None:
         self.deduction_steps += other.deduction_steps
@@ -30,6 +34,10 @@ class SynthesisStats:
         self.subproblems_created += other.subproblems_created
         self.subproblems_solved += other.subproblems_solved
         self.smt_checks += other.smt_checks
+        self.smt_rounds += other.smt_rounds
+        self.theory_lemmas += other.theory_lemmas
+        self.assumption_core_skips += other.assumption_core_skips
+        self.learnt_clauses_deleted += other.learnt_clauses_deleted
 
     @staticmethod
     def from_json(data: Dict) -> "SynthesisStats":

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 class TraceEvent:
     """One step of a synthesis run."""
 
-    kind: str  # deduct | split | enum | solved | propagate | reject
+    kind: str  # deduct | split | enum | solved | propagate | reject | smt
     problem: str
     detail: str = ""
     height: Optional[int] = None
@@ -75,6 +75,15 @@ class SynthesisTrace:
         """How the source problem's solution was obtained, if solved."""
         solved = self.of_kind("solved")
         return solved[-1].detail if solved else None
+
+    def smt_summary(self) -> Optional[str]:
+        """The run's final SMT-substrate counters, if recorded.
+
+        A ``"rounds=... lemmas=... core_skips=... deleted=..."`` string
+        emitted once per cooperative run after the main loop.
+        """
+        events = self.of_kind("smt")
+        return events[-1].detail if events else None
 
     def render(self) -> str:
         return "\n".join(str(event) for event in self.events)
