@@ -12,6 +12,12 @@ slow-but-solved stragglers — and writes two artifacts:
 The point is per-PR perf visibility: a regression in the incremental SMT
 core shows up as a jump in cumulative rounds or a drop in solved count
 right in the workflow artifact, without waiting for a full campaign.
+
+``--telemetry`` records the whole pass under the :mod:`repro.obs` layer;
+``--metrics-out`` dumps the merged registry as Prometheus text (the CI
+metrics artifact).  ``--min-solved N`` turns the run into a gate: exit
+non-zero when fewer than N problems solve, so a telemetry-overhead or
+solver regression fails the workflow instead of silently shipping.
 """
 
 from __future__ import annotations
@@ -38,9 +44,26 @@ def demo_subset():
 
 
 def run_quick_bench(
-    solver_name: str = "dryadsynth", timeout: float = 2.0
+    solver_name: str = "dryadsynth",
+    timeout: float = 2.0,
+    telemetry: bool = False,
 ) -> Dict:
-    """Run the demo subset; returns ``{"records": [...], "summary": {...}}``."""
+    """Run the demo subset; returns ``{"records": [...], "summary": {...}}``.
+
+    With ``telemetry`` the pass runs under an ambient span recorder, which
+    is returned as ``"recorder"`` so callers can export spans/metrics.
+    """
+    if telemetry:
+        from repro import obs
+
+        with obs.recording() as recorder:
+            result = _run_quick_bench_impl(solver_name, timeout)
+        result["recorder"] = recorder
+        return result
+    return _run_quick_bench_impl(solver_name, timeout)
+
+
+def _run_quick_bench_impl(solver_name: str, timeout: float) -> Dict:
     records: List[Dict] = []
     totals = SynthesisStats()
     solved = 0
@@ -94,8 +117,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default="quick-bench", help="output directory for artifacts"
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record the pass with repro.obs (implied by --metrics-out)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's merged metrics as Prometheus text to PATH",
+    )
+    parser.add_argument(
+        "--min-solved",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail (exit 1) when fewer than N problems solve",
+    )
     args = parser.parse_args(argv)
-    result = run_quick_bench(args.solver, args.timeout)
+    telemetry = bool(args.telemetry or args.metrics_out)
+    result = run_quick_bench(args.solver, args.timeout, telemetry=telemetry)
     os.makedirs(args.out, exist_ok=True)
     jsonl_path = os.path.join(args.out, "quick_bench.jsonl")
     with open(jsonl_path, "w") as handle:
@@ -115,6 +157,17 @@ def main(argv=None) -> int:
         f"deleted={stats['learnt_clauses_deleted']})"
     )
     print(f"wrote {jsonl_path} and {summary_path}")
+    if args.metrics_out:
+        from repro.obs.export import write_metrics_text
+
+        write_metrics_text(result["recorder"].metrics, args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if args.min_solved is not None and summary["solved"] < args.min_solved:
+        print(
+            f"quick-bench gate FAILED: solved {summary['solved']} < "
+            f"required {args.min_solved}"
+        )
+        return 1
     return 0
 
 

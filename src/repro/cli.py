@@ -7,6 +7,10 @@ the original DryadSynth binary behaves in the SyGuS competition harness.
 ``dryadsynth batch DIR`` runs a whole directory of ``.sl`` files through the
 process-parallel job engine (:mod:`repro.service`) and emits one JSON record
 per problem — the batch/service entry point.
+
+``dryadsynth profile spans.jsonl`` renders a per-phase time-attribution
+report (plus the hottest SMT queries) from a span dump produced with
+``--spans-out`` (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -61,7 +65,40 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the event trace as JSON to PATH "
         "(dryadsynth solvers only)",
     )
+    _add_telemetry_out_args(parser)
     return parser
+
+
+def _add_telemetry_out_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        default=None,
+        help="record telemetry spans and write them as JSONL to PATH "
+        "(render with `dryadsynth profile PATH`)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="record metrics and write a Prometheus text dump to PATH",
+    )
+
+
+def _write_telemetry(recorder, args) -> None:
+    """Flush a finished recorder to the requested ``--*-out`` files."""
+    from repro.obs.export import write_metrics_text, write_spans_jsonl
+
+    if args.spans_out:
+        try:
+            write_spans_jsonl(recorder, args.spans_out)
+        except OSError as exc:
+            print(f"warning: cannot write spans: {exc}", file=sys.stderr)
+    if args.metrics_out:
+        try:
+            write_metrics_text(recorder.metrics, args.metrics_out)
+        except OSError as exc:
+            print(f"warning: cannot write metrics: {exc}", file=sys.stderr)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -69,6 +106,8 @@ def main(argv: Optional[list] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return _batch_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         problem = parse_sygus_file(args.file)
@@ -87,7 +126,14 @@ def main(argv: Optional[list] = None) -> int:
         trace = SynthesisTrace()
         solver.trace = trace
     start = time.monotonic()
-    outcome = solver.synthesize(problem)
+    if args.spans_out or args.metrics_out:
+        from repro import obs
+
+        with obs.recording() as recorder:
+            outcome = solver.synthesize(problem)
+        _write_telemetry(recorder, args)
+    else:
+        outcome = solver.synthesize(problem)
     elapsed = time.monotonic() - start
     if trace is not None and args.trace:
         print(trace.render(), file=sys.stderr)
@@ -116,7 +162,14 @@ def _run_multi(problem, args) -> int:
     from repro.synth.multi import MultiFunctionSynthesizer
 
     synthesizer = MultiFunctionSynthesizer(SynthConfig(timeout=args.timeout))
-    solution, stats = synthesizer.synthesize(problem)
+    if args.spans_out or args.metrics_out:
+        from repro import obs
+
+        with obs.recording() as recorder:
+            solution, stats = synthesizer.synthesize(problem)
+        _write_telemetry(recorder, args)
+    else:
+        solution, stats = synthesizer.synthesize(problem)
     if args.stats:
         print(f"; stats={stats}", file=sys.stderr)
     if solution is None:
@@ -186,6 +239,13 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retries per crashed/hung job before giving up (default: 1)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans/metrics inside every worker and merge them into "
+        "a fleet-wide view (implied by --spans-out/--metrics-out)",
+    )
+    _add_telemetry_out_args(parser)
     return parser
 
 
@@ -212,11 +272,17 @@ def _batch_main(argv) -> int:
     if not files:
         print("error: no .sl files found", file=sys.stderr)
         return 2
+    telemetry = bool(args.telemetry or args.spans_out or args.metrics_out)
     jobs = []
     for path in files:
         try:
             jobs.append(
-                SynthesisJob.from_file(path, solver=args.solver, timeout=args.timeout)
+                SynthesisJob.from_file(
+                    path,
+                    solver=args.solver,
+                    timeout=args.timeout,
+                    telemetry=telemetry,
+                )
             )
         except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -232,22 +298,41 @@ def _batch_main(argv) -> int:
             file=sys.stderr,
         )
 
-    with WorkerPool(
-        workers=args.jobs, max_retries=args.retries, cache=cache
-    ) as pool:
-        results = pool.run(jobs, progress=progress)
+    def run_pool():
+        with WorkerPool(
+            workers=args.jobs, max_retries=args.retries, cache=cache
+        ) as pool:
+            return pool.run(jobs, progress=progress)
+
+    if telemetry:
+        from repro import obs
+
+        # The parent-side recorder is the merge target for every worker's
+        # shipped span tree and metric snapshot (see WorkerPool.complete).
+        with obs.recording() as recorder:
+            results = run_pool()
+        _write_telemetry(recorder, args)
+    else:
+        results = run_pool()
     elapsed = time.monotonic() - start
     out = open(args.out, "w") if args.out else sys.stdout
     try:
         for result in results:
-            out.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
+            record = result.to_json()
+            # Worker telemetry is already merged into the fleet view; keep
+            # the per-problem JSONL records lean.
+            record.pop("telemetry", None)
+            out.write(json.dumps(record, sort_keys=True) + "\n")
     finally:
         if args.out:
             out.close()
     solved = sum(1 for r in results if r.status == "solved")
     crashed = sum(1 for r in results if r.status == CRASHED)
     cache_note = (
-        f" cache_hits={cache.hits}" if cache is not None else ""
+        f" cache hits={cache.hits} misses={cache.misses} "
+        f"evictions={cache.evictions}"
+        if cache is not None
+        else ""
     )
     print(
         f"; batch done: {solved}/{len(results)} solved in {elapsed:.2f}s "
@@ -255,6 +340,49 @@ def _batch_main(argv) -> int:
         file=sys.stderr,
     )
     return 1 if crashed else 0
+
+
+def build_profile_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth profile",
+        description=(
+            "Render per-phase time attribution (self vs cumulative wall/CPU) "
+            "and the hottest SMT queries from a span dump written with "
+            "--spans-out."
+        ),
+    )
+    parser.add_argument("file", help="span JSONL file (from --spans-out)")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="number of hottest SMT queries to show (default: 10)",
+    )
+    return parser
+
+
+def _profile_main(argv) -> int:
+    from repro.obs.export import read_spans_jsonl
+    from repro.obs.profile import profile_text
+
+    args = build_profile_arg_parser().parse_args(argv)
+    try:
+        spans, _events, _header = read_spans_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print("error: no spans in file", file=sys.stderr)
+        return 2
+    try:
+        print(profile_text(spans, top=args.top))
+    except BrokenPipeError:
+        # Downstream pager/head closed early; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,78 @@
+"""Telemetry exports: JSONL span sink and Prometheus text dump.
+
+The JSONL format is line-oriented so huge runs stream without a giant
+in-memory document:
+
+- line 1: a header record ``{"format": "repro-spans/1", ...}``;
+- then one record per span (``{"span": {...}}``) and one per instant event
+  (``{"event": {...}}``), in completion order.
+
+``dryadsynth profile`` consumes this file; see :mod:`repro.obs.profile`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import ObsEvent, Span, SpanRecorder
+
+SPANS_FORMAT = "repro-spans/1"
+
+
+def write_spans_jsonl(recorder: SpanRecorder, path: str) -> None:
+    """Write a recorder's span and event streams as JSONL."""
+    with open(path, "w") as handle:
+        dump_spans_jsonl(recorder, handle)
+
+
+def dump_spans_jsonl(recorder: SpanRecorder, handle: TextIO) -> None:
+    header = {
+        "format": SPANS_FORMAT,
+        "pid": recorder.pid,
+        "dropped": recorder.dropped,
+        "num_spans": len(recorder.spans),
+        "num_events": len(recorder.events),
+    }
+    handle.write(json.dumps(header) + "\n")
+    for span in recorder.spans:
+        handle.write(json.dumps({"span": span.to_json()}) + "\n")
+    for event in recorder.events:
+        handle.write(json.dumps({"event": event.to_json()}) + "\n")
+
+
+def read_spans_jsonl(path: str) -> Tuple[List[Span], List[ObsEvent], Dict]:
+    """Load a spans JSONL file; returns ``(spans, events, header)``.
+
+    Unknown record kinds are skipped so future writers stay readable.
+    """
+    spans: List[Span] = []
+    events: List[ObsEvent] = []
+    header: Dict = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "span" in record:
+                spans.append(Span.from_json(record["span"]))
+            elif "event" in record:
+                events.append(ObsEvent.from_json(record["event"]))
+            elif record.get("format", "").startswith("repro-spans/"):
+                header = record
+    return spans, events, header
+
+
+def write_metrics_text(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry as Prometheus text exposition format."""
+    with open(path, "w") as handle:
+        handle.write(registry.to_prometheus())
+
+
+def telemetry_payload(recorder: Optional[SpanRecorder]) -> Optional[Dict]:
+    """The worker-to-parent wire payload stored in ``JobResult.telemetry``."""
+    if recorder is None:
+        return None
+    return {"spans": recorder.to_json(), "metrics": recorder.metrics.snapshot()}

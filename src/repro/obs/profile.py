@@ -1,0 +1,149 @@
+"""Per-phase time attribution over a span stream (``dryadsynth profile``).
+
+Answers "where did the budget go": for every span name (phase) the report
+shows *cumulative* wall time (time with such a span open, excluding nested
+spans of the same name so recursion is not double-counted) and *self* wall
+time (cumulative minus time spent in child spans).  Self times partition
+the traced wall clock exactly — they sum to the total of the root spans —
+which is what makes the table trustworthy as an attribution, not just a
+collection of timers.  A second table ranks the hottest individual SMT
+queries (``smt.solve`` spans) by wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.spans import Span
+
+SMT_SPAN_NAME = "smt.solve"
+
+
+@dataclass
+class PhaseRow:
+    """Aggregated attribution for one span name."""
+
+    name: str
+    count: int = 0
+    cum_wall: float = 0.0
+    self_wall: float = 0.0
+    cum_cpu: float = 0.0
+    errors: int = 0
+
+
+@dataclass
+class ProfileReport:
+    """The computed attribution: per-phase rows plus run totals."""
+
+    phases: List[PhaseRow]
+    total_wall: float  # sum of root span walls = the traced wall clock
+    total_spans: int
+    roots: int
+
+    def phase(self, name: str) -> Optional[PhaseRow]:
+        for row in self.phases:
+            if row.name == name:
+                return row
+        return None
+
+
+def build_profile(spans: Sequence[Span]) -> ProfileReport:
+    """Aggregate a span stream into per-phase self/cumulative attribution."""
+    by_id: Dict[int, Span] = {span.span_id: span for span in spans}
+    child_wall: Dict[int, float] = {}
+    for span in spans:
+        parent = span.parent_id
+        if parent is not None and parent in by_id:
+            child_wall[parent] = child_wall.get(parent, 0.0) + span.wall
+
+    def has_same_name_ancestor(span: Span) -> bool:
+        parent = span.parent_id
+        while parent is not None:
+            ancestor = by_id.get(parent)
+            if ancestor is None:
+                return False
+            if ancestor.name == span.name:
+                return True
+            parent = ancestor.parent_id
+        return False
+
+    rows: Dict[str, PhaseRow] = {}
+    total_wall = 0.0
+    roots = 0
+    for span in spans:
+        row = rows.get(span.name)
+        if row is None:
+            row = rows[span.name] = PhaseRow(span.name)
+        row.count += 1
+        row.self_wall += max(0.0, span.wall - child_wall.get(span.span_id, 0.0))
+        row.cum_cpu += span.cpu
+        if span.status != "ok":
+            row.errors += 1
+        if not has_same_name_ancestor(span):
+            row.cum_wall += span.wall
+        if span.parent_id is None or span.parent_id not in by_id:
+            roots += 1
+            total_wall += span.wall
+    phases = sorted(rows.values(), key=lambda r: r.self_wall, reverse=True)
+    return ProfileReport(phases, total_wall, len(spans), roots)
+
+
+def render_profile(report: ProfileReport) -> str:
+    """The per-phase attribution table, self-time-descending."""
+    total = report.total_wall or 1e-12
+    lines = [
+        f"traced wall clock: {report.total_wall:.3f}s over "
+        f"{report.total_spans} spans ({report.roots} roots)",
+        "",
+        f"{'phase':<18} {'count':>7} {'self(s)':>9} {'self%':>6} "
+        f"{'cum(s)':>9} {'cum%':>6} {'cpu(s)':>9}",
+    ]
+    self_total = 0.0
+    for row in report.phases:
+        self_total += row.self_wall
+        lines.append(
+            f"{row.name:<18} {row.count:>7} {row.self_wall:>9.3f} "
+            f"{100 * row.self_wall / total:>5.1f}% "
+            f"{row.cum_wall:>9.3f} {100 * row.cum_wall / total:>5.1f}% "
+            f"{row.cum_cpu:>9.3f}"
+            + (f"  ({row.errors} errors)" if row.errors else "")
+        )
+    lines.append(
+        f"{'(total self)':<18} {'':>7} {self_total:>9.3f} "
+        f"{100 * self_total / total:>5.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def hottest_spans(
+    spans: Sequence[Span], name: str = SMT_SPAN_NAME, top: int = 10
+) -> List[Span]:
+    """The top-k slowest spans of one name (default: individual SMT solves)."""
+    matching = [span for span in spans if span.name == name]
+    matching.sort(key=lambda span: span.wall, reverse=True)
+    return matching[:top]
+
+
+def render_hottest(spans: Sequence[Span], top: int = 10,
+                   name: str = SMT_SPAN_NAME) -> str:
+    """The top-k hottest SMT queries with their attributes."""
+    hottest = hottest_spans(spans, name, top)
+    if not hottest:
+        return f"no {name!r} spans recorded"
+    lines = [f"top {len(hottest)} hottest {name} spans:"]
+    for rank, span in enumerate(hottest, 1):
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span.attrs.items())
+        )
+        lines.append(
+            f"{rank:>3}. {span.wall:8.4f}s cpu={span.cpu:7.4f}s"
+            f" start={span.start:8.3f}s {attrs}"
+        )
+    return "\n".join(lines)
+
+
+def profile_text(spans: Sequence[Span], top: int = 10) -> str:
+    """The full ``dryadsynth profile`` report for a span stream."""
+    report = build_profile(spans)
+    return render_profile(report) + "\n\n" + render_hottest(spans, top)

@@ -15,6 +15,7 @@ import shutil
 import tempfile
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.service.jobs import TERMINAL_STATUSES, JobResult
 
 #: Entries carry a schema version; mismatched entries read as misses.
@@ -32,15 +33,27 @@ def default_cache_dir() -> str:
 
 
 class ResultCache:
-    """Fingerprint-keyed job result store with hit/miss accounting."""
+    """Fingerprint-keyed job result store with hit/miss/evict accounting.
+
+    The counters live both as plain attributes (``hits``/``misses``/
+    ``evictions``, printed by the ``dryadsynth batch`` summary) and as
+    ``cache.*`` metrics on the ambient :func:`repro.obs.metrics` registry,
+    so fleet-wide dumps show cache effectiveness without extra plumbing.
+    """
 
     def __init__(self, root: Optional[str] = None):
         self.root = os.path.abspath(root or default_cache_dir())
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    def _miss(self) -> Optional[JobResult]:
+        self.misses += 1
+        obs.metrics().counter("cache.misses").inc()
+        return None
 
     def get(self, fingerprint: str) -> Optional[JobResult]:
         path = self._path(fingerprint)
@@ -48,17 +61,15 @@ class ResultCache:
             with open(path) as handle:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
+            return self._miss()
         if data.get("schema") != CACHE_SCHEMA:
-            self.misses += 1
-            return None
+            return self._miss()
         try:
             result = JobResult.from_json(data["result"])
         except (KeyError, TypeError):
-            self.misses += 1
-            return None
+            return self._miss()
         self.hits += 1
+        obs.metrics().counter("cache.hits").inc()
         return result
 
     def put(self, fingerprint: str, result: JobResult) -> None:
@@ -87,9 +98,11 @@ class ResultCache:
         """Drop one entry; returns whether it existed."""
         try:
             os.unlink(self._path(fingerprint))
-            return True
         except OSError:
             return False
+        self.evictions += 1
+        obs.metrics().counter("cache.evictions").inc()
+        return True
 
     def clear(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)

@@ -47,6 +47,10 @@ class SynthesisJob:
     hard_timeout: Optional[float] = None
     job_id: str = ""
     name: str = "job"
+    #: Record spans/metrics inside the worker and ship them back in the
+    #: result's ``telemetry`` payload (see :mod:`repro.obs`).  Off by
+    #: default; does not affect the job's fingerprint.
+    telemetry: bool = False
     #: Free-form extras for special solvers (e.g. debug hooks).
     params: Dict[str, str] = field(default_factory=dict)
 
@@ -112,12 +116,19 @@ class JobResult:
     solution_size: Optional[int] = None
     solution_height: Optional[int] = None
     wall_time: float = 0.0
+    #: Seconds the job spent waiting for a worker (submission to the
+    #: assignment that produced this result); lets batch/race latency be
+    #: decomposed into wait vs. solve.
+    queue_wait: float = 0.0
     stats: Dict = field(default_factory=dict)
     attempts: int = 1
     failures: List[str] = field(default_factory=list)
     from_cache: bool = False
     error: Optional[str] = None
     fingerprint: str = ""
+    #: Worker-side telemetry (``{"spans": ..., "metrics": ...}``) when the
+    #: job asked for it; the parent merges this into its own recorder.
+    telemetry: Optional[Dict] = None
 
     @property
     def solved(self) -> bool:
@@ -277,6 +288,14 @@ def execute_job(job: SynthesisJob) -> JobResult:
         debug = _debug_solver_result(job, start)
         if debug is not None:
             return debug
+        if job.telemetry:
+            from repro import obs
+            from repro.obs.export import telemetry_payload
+
+            with obs.recording() as recorder:
+                result = _execute_real_job(job, start)
+            result.telemetry = telemetry_payload(recorder)
+            return result
         return _execute_real_job(job, start)
     except Exception as exc:  # noqa: BLE001 - worker survival boundary
         return JobResult(

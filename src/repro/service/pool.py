@@ -27,6 +27,7 @@ from collections import deque
 from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.service.cache import ResultCache
 from repro.service.jobs import (
     CANCELLED,
@@ -218,15 +219,33 @@ class WorkerPool:
         completed: Dict[int, JobResult] = {}
         attempts: Dict[int, int] = {}
         failures: Dict[int, List[str]] = {}
+        #: Per-index queue wait: submission (= this call) to the assignment
+        #: that produced the final result (or to the cache short-circuit).
+        queue_waits: Dict[int, float] = {}
+        submitted_at = time.monotonic()
         cancelling = False
 
         def complete(index: int, job: SynthesisJob, result: JobResult) -> None:
             nonlocal cancelling
             result.attempts = attempts.get(index, result.attempts)
             result.failures = failures.get(index, []) or result.failures
+            result.queue_wait = round(queue_waits.get(index, 0.0), 4)
             completed[index] = result
             if self.cache is not None and not result.from_cache:
                 self.cache.put(job.fingerprint(), result)
+            registry = obs.metrics()
+            registry.counter("pool.jobs_completed").inc()
+            registry.counter(f"pool.status.{result.status}").inc()
+            registry.histogram("pool.queue_wait_seconds").observe(
+                result.queue_wait
+            )
+            if result.telemetry is not None and not result.from_cache:
+                obs.merge_job_telemetry(
+                    result.telemetry,
+                    name=result.name,
+                    status=result.status,
+                    wall_time=result.wall_time,
+                )
             if progress is not None:
                 progress(result)
             if stop_on_first_solved and result.status == SOLVED:
@@ -254,7 +273,8 @@ class WorkerPool:
         while len(completed) < len(jobs):
             if cancelling:
                 self._cancel_remaining(
-                    jobs, pending, feed, feed_done, completed, progress
+                    jobs, pending, feed, feed_done, completed, progress,
+                    queue_waits,
                 )
                 break
 
@@ -275,6 +295,10 @@ class WorkerPool:
                         result.job_id = job.job_id
                         result.name = job.name
                         result.from_cache = True
+                        # A cached record's telemetry describes the original
+                        # run, not this batch: don't re-merge it.
+                        result.telemetry = None
+                        queue_waits[index] = time.monotonic() - submitted_at
                         complete(index, job, result)
                         continue
                 worker = self._idle_worker()
@@ -283,6 +307,7 @@ class WorkerPool:
                 pending.popleft()
                 attempts[index] = attempts.get(index, 0) + 1
                 worker.assign(index, job)
+                queue_waits[index] = worker.assigned_at - submitted_at
             if cancelling or len(completed) >= len(jobs):
                 continue
 
@@ -356,15 +381,20 @@ class WorkerPool:
             self._workers.remove(worker)
 
     def _cancel_remaining(
-        self, jobs, pending, feed, feed_done, completed, progress
+        self, jobs, pending, feed, feed_done, completed, progress,
+        queue_waits=None,
     ) -> None:
         """A racer won: terminate running losers, mark the rest cancelled."""
+        queue_waits = queue_waits or {}
         for worker in list(self._workers):
             if worker.busy:
                 index, job = worker.slot
                 worker.clear()
                 self._retire(worker)
                 completed[index] = _cancelled(job)
+                completed[index].queue_wait = round(
+                    queue_waits.get(index, 0.0), 4
+                )
                 if progress is not None:
                     progress(completed[index])
         leftovers = list(pending)

@@ -50,6 +50,7 @@ class SatSolver:
         self._ok = True
         self._conflicts = 0
         self._decisions = 0
+        self._restarts = 0
         # Learned-clause database: clause index -> activity, plus the LBD
         # (number of distinct decision levels) recorded at learning time.
         # Clauses added through add_clause() are *permanent* (problem clauses
@@ -398,6 +399,7 @@ class SatSolver:
                     or len(self._learnts) >= self._max_learnts + 256
                 ):
                     luby_index += 1
+                    self._restarts += 1
                     conflicts_since_restart = 0
                     self._backtrack(0)
                     if len(self._learnts) > self._max_learnts:
@@ -441,6 +443,16 @@ class SatSolver:
     @property
     def num_conflicts(self) -> int:
         return self._conflicts
+
+    @property
+    def num_decisions(self) -> int:
+        """Decision-level choices made over the solver's lifetime."""
+        return self._decisions
+
+    @property
+    def num_restarts(self) -> int:
+        """Luby/DB-pressure restarts performed over the solver's lifetime."""
+        return self._restarts
 
     @property
     def num_learnts(self) -> int:

@@ -14,6 +14,17 @@ still speaks ``Fraction``.
 
 from __future__ import annotations
 
+#: Process-wide pivot tally (index 0), read by the telemetry layer: the SMT
+#: driver reports per-query deltas of :func:`pivots_total` as the
+#: ``smt.simplex_pivots`` metric.  A bare list keeps the hot-path cost to a
+#: single indexed increment.
+_PIVOT_TALLY = [0]
+
+
+def pivots_total() -> int:
+    """Simplex pivots performed by this process since import."""
+    return _PIVOT_TALLY[0]
+
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -157,6 +168,7 @@ class Simplex:
                 self._assign[basic] = radd(self._assign[basic], rmul(coeff, delta))
 
     def _pivot(self, basic: int, nonbasic: int) -> None:
+        _PIVOT_TALLY[0] += 1
         row = self._rows.pop(basic)
         coeff = row.pop(nonbasic)
         # basic = coeff * nonbasic + rest  =>  nonbasic = (basic - rest)/coeff

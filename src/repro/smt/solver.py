@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.lang.ast import Kind, Term
 from repro.lang.builders import not_
 from repro.lang.simplify import simplify
@@ -21,6 +22,7 @@ from repro.lang.sorts import BOOL
 from repro.lang.traversal import free_vars
 from repro.smt.branch_bound import BudgetExceeded, check_lia
 from repro.smt.implicant import extract_implicant
+from repro.smt.simplex import pivots_total
 from repro.smt.tseitin import CnfEncoder
 
 Value = Union[int, bool]
@@ -189,7 +191,58 @@ class SmtSolver:
         while exploring them.  When the answer is UNSAT, the result's
         :attr:`~Result.unsat_core` is the subset of assumptions responsible
         (empty when the permanent assertions are unsat by themselves).
+
+        With telemetry enabled (:func:`repro.obs.recording`) every call
+        becomes an ``smt.solve`` span and updates the ``smt.*``/``sat.*``
+        metrics; disabled, the check below is the entire overhead.
         """
+        if obs.active() is None:
+            return self._solve_impl(assumptions)
+        return self._solve_traced(assumptions)
+
+    def _solve_traced(self, assumptions: Sequence[Term]) -> Result:
+        """One telemetered solve: an ``smt.solve`` span plus metric deltas."""
+        sat = self._encoder.sat
+        registry = obs.metrics()
+        before = (
+            self.stats.rounds,
+            self.stats.lemmas,
+            self.stats.theory_conflicts,
+            sat.num_conflicts,
+            sat.num_decisions,
+            sat.num_learnts_deleted,
+            pivots_total(),
+        )
+        start = time.monotonic()
+        with obs.span("smt.solve", assumptions=len(assumptions)) as span:
+            status = "error"
+            result: Optional[Result] = None
+            try:
+                result = self._solve_impl(assumptions)
+                status = result.status.value
+                return result
+            finally:
+                wall = time.monotonic() - start
+                rounds = self.stats.rounds - before[0]
+                pivots = pivots_total() - before[6]
+                registry.counter("smt.checks").inc()
+                registry.counter("smt.rounds").inc(rounds)
+                registry.counter("smt.lemmas").inc(self.stats.lemmas - before[1])
+                registry.counter("smt.theory_conflicts").inc(
+                    self.stats.theory_conflicts - before[2]
+                )
+                registry.counter("sat.conflicts").inc(sat.num_conflicts - before[3])
+                registry.counter("sat.decisions").inc(sat.num_decisions - before[4])
+                registry.counter("sat.learnts_deleted").inc(
+                    sat.num_learnts_deleted - before[5]
+                )
+                registry.counter("smt.simplex_pivots").inc(pivots)
+                registry.gauge("sat.learnts").set_max(sat.num_learnts)
+                registry.gauge("sat.vars").set_max(sat.num_vars)
+                registry.histogram("smt.solve_seconds").observe(wall)
+                span.set(status=status, rounds=rounds, pivots=pivots)
+
+    def _solve_impl(self, assumptions: Sequence[Term] = ()) -> Result:
         self.stats.checks += 1
         if self._trivially_false:
             return Result(Status.UNSAT, None, 0)

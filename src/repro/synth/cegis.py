@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lang.ast import Term
 from repro.lang.evaluator import Value
 from repro.smt.solver import SolverBudgetExceeded
@@ -56,7 +57,8 @@ def cegis(
         iterations += 1
         _check_deadline(deadline)
         try:
-            ok, counterexample = problem.verify(candidate, deadline)
+            with obs.span("verify", problem=problem.name):
+                ok, counterexample = problem.verify(candidate, deadline)
         except SolverBudgetExceeded as exc:
             raise CegisTimeout(str(exc)) from exc
         if ok:
@@ -71,7 +73,9 @@ def cegis(
             return None, examples, iterations
         _check_deadline(deadline)
         try:
-            candidate = ind_synth(examples)
+            with obs.span("ind_synth", problem=problem.name,
+                          examples=len(examples)):
+                candidate = ind_synth(examples)
         except SolverBudgetExceeded as exc:
             raise CegisTimeout(str(exc)) from exc
         from_ind_synth = True

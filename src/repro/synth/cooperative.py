@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 
 logger = logging.getLogger(__name__)
 
+from repro import obs
 from repro.lang.ast import Term
 from repro.smt.solver import SolverBudgetExceeded
 from repro.sygus.problem import Solution, SygusProblem
@@ -86,6 +87,19 @@ class CooperativeSynthesizer:
     # -- Main loop (Algorithm 1) -------------------------------------------------
 
     def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
+        """Run Algorithm 1; the whole run is a ``synth`` telemetry span."""
+        with obs.span(
+            "synth", problem=problem.name, solver=self.name
+        ) as root_span:
+            outcome = self._synthesize_impl(problem)
+            root_span.set(
+                solved=outcome.solved, timed_out=outcome.timed_out
+            )
+        if obs.enabled():
+            obs.publish_stats(outcome.stats)
+        return outcome
+
+    def _synthesize_impl(self, problem: SygusProblem) -> SynthesisOutcome:
         config = self.config
         stats = SynthesisStats()
         start = time.monotonic()
@@ -110,7 +124,8 @@ class CooperativeSynthesizer:
                         continue
                     logger.debug("deduct: %s", node.problem.name)
                     self._record("deduct", node.problem.name)
-                    self._deduction_step(node, graph, ded_queue, stats, deadline)
+                    with obs.span("deduct", problem=node.problem.name):
+                        self._deduction_step(node, graph, ded_queue, stats, deadline)
                     if not node.solved:
                         enqueue_enum(node, 1)
                 elif enum_queue:
@@ -120,12 +135,18 @@ class CooperativeSynthesizer:
                     stats.heights_tried += 1
                     stats.max_height_reached = max(stats.max_height_reached, height)
                     step_start = time.monotonic()
-                    body, exhausted = self._enum_step(node, height, stats, deadline)
-                    step_outcome = (
-                        "hit" if body is not None else (
-                            "miss" if exhausted else "preempted"
+                    with obs.span(
+                        "enum", problem=node.problem.name, height=height
+                    ) as enum_span:
+                        body, exhausted = self._enum_step(
+                            node, height, stats, deadline
                         )
-                    )
+                        step_outcome = (
+                            "hit" if body is not None else (
+                                "miss" if exhausted else "preempted"
+                            )
+                        )
+                        enum_span.set(outcome=step_outcome)
                     logger.debug(
                         "enum h=%d %s -> %s (%.2fs)",
                         height,
@@ -161,9 +182,10 @@ class CooperativeSynthesizer:
                 from repro.synth.minimize import minimize_solution
 
                 try:
-                    body = minimize_solution(
-                        problem, body, config.minimize_budget, deadline
-                    )
+                    with obs.span("minimize", problem=problem.name):
+                        body = minimize_solution(
+                            problem, body, config.minimize_budget, deadline
+                        )
                 except SolverBudgetExceeded:
                     pass
             elapsed = time.monotonic() - start
@@ -330,7 +352,8 @@ class CooperativeSynthesizer:
     ) -> bool:
         """Defensive verification of a combined solution."""
         try:
-            ok, _ = node.problem.verify(candidate, deadline)
+            with obs.span("verify", problem=node.problem.name, accept=True):
+                ok, _ = node.problem.verify(candidate, deadline)
         except SolverBudgetExceeded:
             return False
         return ok

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.lang.ast import Kind, Term
 from repro.lang.builders import and_, bool_var, implies, int_const
 from repro.lang.evaluator import EvaluationError, Value, evaluate
@@ -184,13 +185,26 @@ class FixedHeightSession:
         """
         if self.exhausted:
             return None
+        with obs.span(
+            "cegis", problem=self.problem.name, height=self.height
+        ) as session_span:
+            result = self._run_loop(examples, deadline)
+            session_span.set(rounds=self.rounds, exhausted=self.exhausted,
+                             solved=result is not None)
+            return result
+
+    def _run_loop(
+        self, examples: List[Example], deadline: Optional[float]
+    ) -> Optional[Term]:
         problem, stats = self.problem, self.stats
         while self.rounds < self.config.max_cegis_rounds:
             self._check_deadline(deadline)
             self.rounds += 1
             stats.cegis_iterations += 1
             try:
-                ok, counterexample = problem.verify(self.candidate, deadline)
+                with obs.span("verify", problem=problem.name,
+                              height=self.height):
+                    ok, counterexample = problem.verify(self.candidate, deadline)
             except SolverBudgetExceeded as exc:
                 self.rounds -= 1
                 raise CegisTimeout(str(exc)) from exc
@@ -243,6 +257,17 @@ class FixedHeightSession:
     ) -> Optional[Term]:
         if not examples:
             return self.encoder.initial_candidate()
+        with obs.span(
+            "ind_synth",
+            problem=self.problem.name,
+            height=self.height,
+            examples=len(examples),
+        ):
+            return self._ind_synth_query(examples, deadline)
+
+    def _ind_synth_query(
+        self, examples: List[Example], deadline: Optional[float]
+    ) -> Optional[Term]:
         solver = self._solver
         if solver is None:
             solver = self._solver = SmtSolver(
@@ -260,7 +285,13 @@ class FixedHeightSession:
                 self._check_deadline(deadline)
                 guard = self._bound_guard(solver, const_bound)
                 stats.smt_checks += 1
-                result = solver.solve(assumptions=[guard])
+                with obs.span(
+                    "widen",
+                    problem=self.problem.name,
+                    height=self.height,
+                    const_bound=const_bound,
+                ):
+                    result = solver.solve(assumptions=[guard])
                 if result.status is Status.SAT:
                     assert result.model is not None
                     return self.encoder.decode(
@@ -336,6 +367,13 @@ class HeightEnumerationSynthesizer:
         self.config = config or SynthConfig()
 
     def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
+        with obs.span("synth", problem=problem.name, solver=self.name):
+            outcome = self._synthesize_impl(problem)
+        if obs.enabled():
+            obs.publish_stats(outcome.stats)
+        return outcome
+
+    def _synthesize_impl(self, problem: SygusProblem) -> SynthesisOutcome:
         config = self.config
         stats = SynthesisStats()
         deadline = (

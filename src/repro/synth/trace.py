@@ -6,13 +6,24 @@ where the solution came from — as a list of typed events.  Useful for
 debugging non-trivial runs, for the ``--trace`` CLI flag, and as the
 observable surface the test suite uses to assert *how* problems were solved
 (not just that they were).
+
+Since the ``repro.obs`` telemetry layer landed, the trace is a thin view
+over a span-stream's instant events: ``record()`` appends an event (domain
+``"trace"``) to a :class:`~repro.obs.spans.SpanRecorder` and
+:attr:`events` materializes the :class:`TraceEvent` list from that stream.
+By default each trace owns a private recorder, so standalone use is
+unchanged; pass the ambient recorder (``SynthesisTrace(obs.active())``) to
+interleave trace events with the span stream and have them land in the
+``--spans-out`` export.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
+
+from repro.obs.spans import SpanRecorder
 
 
 @dataclass(frozen=True)
@@ -32,11 +43,16 @@ class TraceEvent:
 
 
 class SynthesisTrace:
-    """An append-only event log with query helpers."""
+    """An append-only event log with query helpers (a span-stream view)."""
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-        self._start = time.monotonic()
+    def __init__(self, recorder: Optional[SpanRecorder] = None) -> None:
+        self._recorder = recorder if recorder is not None else SpanRecorder()
+        #: Events restored by :meth:`from_json`; live events append after.
+        self._preloaded: List[TraceEvent] = []
+        #: Age of the trace at the moment it was serialized — keeps the time
+        #: base intact across a JSON round-trip (events recorded after
+        #: deserialization continue from here instead of restarting at 0).
+        self._offset = 0.0
 
     def record(
         self,
@@ -45,9 +61,25 @@ class SynthesisTrace:
         detail: str = "",
         height: Optional[int] = None,
     ) -> None:
-        self.events.append(
-            TraceEvent(kind, problem, detail, height, time.monotonic() - self._start)
+        self._recorder.add_event(
+            kind, domain="trace", problem=problem, detail=detail, height=height
         )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The trace as :class:`TraceEvent`\\ s (view over the event stream)."""
+        live = [
+            TraceEvent(
+                event.name,
+                event.attrs.get("problem", ""),
+                event.attrs.get("detail", ""),
+                event.attrs.get("height"),
+                self._offset + event.elapsed,
+            )
+            for event in self._recorder.events
+            if event.domain == "trace"
+        ]
+        return self._preloaded + live
 
     # -- Queries ---------------------------------------------------------------
 
@@ -90,18 +122,33 @@ class SynthesisTrace:
 
     # -- Serialization (shared observability format with JobResult) --------------
 
+    def _age(self) -> float:
+        """Seconds of trace lifetime, across any number of round-trips."""
+        return self._offset + (time.monotonic() - self._recorder.epoch)
+
     def to_json(self) -> Dict:
         """Machine-readable form (the ``--trace-json`` CLI flag's payload)."""
         return {
             "format": "repro-trace/1",
+            "age": round(self._age(), 6),
             "events": [asdict(event) for event in self.events],
         }
 
     @staticmethod
     def from_json(data: Dict) -> "SynthesisTrace":
-        """Inverse of :meth:`to_json`; event timestamps are preserved."""
+        """Inverse of :meth:`to_json`; the original time base is preserved.
+
+        Events recorded *after* deserialization continue from the trace's
+        serialized age (falling back to the last event's timestamp for
+        records written before the ``age`` field existed), so a round-trip
+        never makes later events appear earlier than preserved ones.
+        """
         trace = SynthesisTrace()
-        trace.events = [TraceEvent(**event) for event in data.get("events", [])]
+        trace._preloaded = [TraceEvent(**event) for event in data.get("events", [])]
+        age = data.get("age")
+        if age is None:
+            age = max((e.elapsed for e in trace._preloaded), default=0.0)
+        trace._offset = age
         return trace
 
     def __len__(self) -> int:

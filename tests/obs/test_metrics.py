@@ -1,0 +1,151 @@
+"""Metrics registry: instruments, snapshots, merges, Prometheus dump."""
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_accessors_memoize(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_gauge_set_and_set_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.set_max(5)
+        assert gauge.value == 10
+        gauge.set_max(20)
+        assert gauge.value == 20
+
+    def test_histogram_buckets_and_mean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)  # beyond all bounds -> +Inf bucket
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert abs(hist.mean - (0.05 + 0.5 + 5.0) / 3) < 1e-12
+
+
+class TestSnapshotAndMerge:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        return registry
+
+    def test_snapshot_round_trips_through_json(self):
+        import json
+
+        snap = json.loads(json.dumps(self._populated().snapshot()))
+        target = MetricsRegistry()
+        target.merge(snap)
+        assert target.counter("c").value == 3
+        assert target.gauge("g").value == 7
+        assert target.histogram("h", bounds=(1.0,)).count == 1
+
+    def test_counters_add_gauges_max(self):
+        target = self._populated()
+        other = MetricsRegistry()
+        other.counter("c").inc(10)
+        other.gauge("g").set(5)
+        target.merge(other.snapshot())
+        assert target.counter("c").value == 13
+        assert target.gauge("g").value == 7  # max wins
+
+    def test_histograms_merge_bucket_wise(self):
+        target = self._populated()
+        other = MetricsRegistry()
+        other.histogram("h", bounds=(1.0,)).observe(2.0)
+        target.merge(other.snapshot())
+        hist = target.histogram("h", bounds=(1.0,))
+        assert hist.counts == [1, 1]
+        assert hist.count == 2
+
+    def test_mismatched_histogram_bounds_keep_totals(self):
+        target = MetricsRegistry()
+        target.histogram("h", bounds=(1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", bounds=(2.0, 4.0)).observe(3.0)
+        target.merge(other.snapshot())
+        hist = target.histogram("h", bounds=(1.0,))
+        assert hist.count == 2
+        assert abs(hist.sum - 3.5) < 1e-12
+
+    def test_merge_none_is_noop(self):
+        registry = self._populated()
+        registry.merge(None)
+        registry.merge({})
+        assert registry.counter("c").value == 3
+
+    def test_merge_is_deterministic(self):
+        snapshots = [self._populated().snapshot() for _ in range(3)]
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for snap in snapshots:
+            a.merge(snap)
+            b.merge(snap)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("smt.rounds").inc(9)
+        registry.gauge("sat.vars").set(42)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_smt_rounds_total counter" in text
+        assert "repro_smt_rounds_total 9" in text
+        assert "repro_sat_vars 42" in text
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(9.0)
+        text = registry.to_prometheus()
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="2"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_count 3" in text
+
+    def test_empty_registry_dumps_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestPublishStats:
+    def test_int_fields_become_counters(self):
+        from repro.synth.result import SynthesisStats
+
+        stats = SynthesisStats()
+        stats.smt_checks = 11
+        stats.heights_tried = 2
+        stats.deduction_solved = True  # bool: skipped
+        registry = MetricsRegistry()
+        obs.publish_stats(stats, registry=registry)
+        assert registry.counter("synth.smt_checks").value == 11
+        assert registry.counter("synth.heights_tried").value == 2
+        assert "synth.deduction_solved" not in registry.snapshot()["counters"]
+
+    def test_publishes_to_ambient_registry(self):
+        from repro.synth.result import SynthesisStats
+
+        stats = SynthesisStats()
+        stats.smt_rounds = 5
+        with obs.recording() as recorder:
+            obs.publish_stats(stats)
+        assert recorder.metrics.counter("synth.smt_rounds").value == 5

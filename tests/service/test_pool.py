@@ -87,6 +87,9 @@ class TestCrashTolerance:
         assert result.status == CRASHED
         assert result.attempts == 2
         assert len(result.failures) >= 1
+        # Even a crashed job reports how long it queued before its (final)
+        # assignment.
+        assert result.queue_wait >= 0.0
 
     def test_hard_crash_is_retried(self, tmp_path):
         marker = str(tmp_path / "attempt.marker")
@@ -158,6 +161,7 @@ class TestDeadlines:
         assert result.attempts == 2
         assert len(result.failures) == 2
         assert all("deadline" in f for f in result.failures)
+        assert result.queue_wait >= 0.0
         assert elapsed < 30  # two deadlines plus termination overhead
 
     def test_no_retry_when_disabled(self):
@@ -183,6 +187,9 @@ class TestRace:
         assert winner is not None and winner.name == "fast"
         statuses = {r.name: r.status for r in results}
         assert statuses == {"slow": CANCELLED, "fast": SOLVED}
+        # Both jobs were assigned to workers, so both carry a queue wait —
+        # including the cancelled loser.
+        assert all(r.queue_wait >= 0.0 for r in results)
         assert elapsed < 10  # the 30s sleeper was terminated, not awaited
 
     def test_race_with_no_winner(self):

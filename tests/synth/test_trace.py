@@ -67,6 +67,39 @@ class TestTraceJson:
         clone = SynthesisTrace.from_json(SynthesisTrace().to_json())
         assert len(clone) == 0
 
+    def test_time_base_preserved_across_round_trip(self):
+        """Regression: from_json used to restart the clock at load time.
+
+        Events recorded after deserialization then carried timestamps
+        *earlier* than the preserved ones, so merged/rendered traces went
+        backwards in time.  The serialized ``age`` must anchor new events
+        after everything already in the trace.
+        """
+        trace = SynthesisTrace()
+        trace.record("deduct", "p")
+        data = trace.to_json()
+        assert data["age"] >= trace.events[-1].elapsed
+        clone = SynthesisTrace.from_json(data)
+        clone.record("solved", "p", "direct")
+        preserved, fresh = clone.events
+        assert fresh.elapsed >= preserved.elapsed
+        assert fresh.elapsed >= data["age"]
+        # A second round-trip keeps accumulating age monotonically.
+        again = SynthesisTrace.from_json(clone.to_json())
+        assert again.to_json()["age"] >= data["age"]
+
+    def test_from_json_without_age_falls_back_to_last_event(self):
+        data = {
+            "format": "repro-trace/1",
+            "events": [
+                {"kind": "deduct", "problem": "p", "detail": "",
+                 "height": None, "elapsed": 3.5}
+            ],
+        }
+        clone = SynthesisTrace.from_json(data)
+        clone.record("enum", "p", "miss", height=1)
+        assert clone.events[-1].elapsed >= 3.5
+
 
 class TestCooperativeIntegration:
     def test_trace_captures_the_run(self):

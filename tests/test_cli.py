@@ -199,7 +199,7 @@ class TestBatch:
 
         records = [json.loads(l) for l in captured.out.splitlines()]
         assert all(r["from_cache"] for r in records)
-        assert "cache_hits=2" in captured.err
+        assert "cache hits=2 misses=0" in captured.err
 
     def test_missing_path_errors(self, capsys):
         code = main(["batch", "/nonexistent/suite"])
