@@ -1,0 +1,239 @@
+"""Benchmark regression history: longitudinal quick-bench records + gating.
+
+The wall-time and solved-set wins this repo measures PR by PR (pool speedup,
+DPLL(T) round reductions) are only safe if something *machine-checks* them
+afterwards.  This module keeps a committed JSONL store
+(``BENCH_history.jsonl``) of quick-bench runs — solved set, wall clock,
+cumulative SMT rounds, per-problem times — and compares a fresh run against
+the *trailing baseline* (the last ``window`` comparable records), the same
+longitudinal solved/time methodology SyGuS-Comp uses across competition
+years.  ``dryadsynth bench-compare`` wraps it as the CI gate: it fails on
+
+- **solved-set shrink** — any problem solved in *every* trailing record
+  (the intersection, so one historically flaky solve cannot block) that the
+  current run does not solve;
+- **median wall growth** — the median per-problem wall time over the
+  commonly-solved set growing more than ``max_wall_growth`` (default 15%)
+  over the trailing baseline's medians.
+
+Records gate only against records with the same solver and budget —
+comparing a 2 s run against a 10 s history would be noise, not a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+HISTORY_FORMAT = "repro-bench-history/1"
+
+#: Trailing records forming the baseline.
+DEFAULT_WINDOW = 5
+#: Allowed growth of the median per-problem wall time (fraction).
+DEFAULT_MAX_WALL_GROWTH = 0.15
+#: Below this baseline median (seconds) the wall gate is skipped: timer
+#: jitter dominates and a "regression" would be noise.
+MIN_MEDIAN_WALL = 0.01
+
+
+def record_from_quick_bench(
+    result: Dict, context: Optional[Dict] = None
+) -> Dict:
+    """Build one history record from a quick-bench ``{"records", "summary"}``."""
+    records = result["records"]
+    summary = result["summary"]
+    per_problem = {
+        r["benchmark"]: {
+            "solved": bool(r["solved"]),
+            "wall": round(float(r["wall_seconds"]), 4),
+            "smt_rounds": int(r.get("smt_rounds", 0)),
+        }
+        for r in records
+    }
+    record = {
+        "format": HISTORY_FORMAT,
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "solver": summary["solver"],
+        "timeout_seconds": summary["timeout_seconds"],
+        "problems": summary["problems"],
+        "solved": sorted(
+            name for name, entry in per_problem.items() if entry["solved"]
+        ),
+        "wall_seconds": summary["wall_seconds"],
+        "smt_rounds": int(summary.get("stats", {}).get("smt_rounds", 0)),
+        "per_problem": per_problem,
+    }
+    if context:
+        record["context"] = dict(context)
+    return record
+
+
+def load_history(path: str) -> List[Dict]:
+    """Read a history JSONL store tolerantly (blank/torn lines dropped)."""
+    history: List[Dict] = []
+    try:
+        with open(path) as handle:
+            lines = handle.read().split("\n")
+    except OSError:
+        return []
+    last = max((i for i, l in enumerate(lines) if l.strip()), default=-1)
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == last:
+                continue  # torn tail from an interrupted append
+            raise
+        if record.get("format") == HISTORY_FORMAT:
+            history.append(record)
+    return history
+
+
+def append_history(path: str, record: Dict) -> None:
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+@dataclass
+class Comparison:
+    """Outcome of gating one record against the trailing baseline."""
+
+    ok: bool = True
+    regressions: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    baseline_runs: int = 0
+    missing: List[str] = field(default_factory=list)
+    new_solves: List[str] = field(default_factory=list)
+    median_wall_baseline: Optional[float] = None
+    median_wall_current: Optional[float] = None
+    wall_growth: Optional[float] = None
+
+    def render(self) -> str:
+        lines = []
+        verdict = "PASS" if self.ok else "REGRESSION"
+        lines.append(f"bench-compare: {verdict} "
+                     f"(baseline: trailing {self.baseline_runs} run(s))")
+        for regression in self.regressions:
+            lines.append(f"  REGRESSION: {regression}")
+        if self.median_wall_baseline is not None:
+            growth = (
+                f"{self.wall_growth * 100:+.1f}%"
+                if self.wall_growth is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  median per-problem wall: "
+                f"{self.median_wall_current:.4f}s vs baseline "
+                f"{self.median_wall_baseline:.4f}s ({growth})"
+            )
+        if self.new_solves:
+            lines.append(
+                f"  newly solved vs baseline: {', '.join(self.new_solves)}"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def compare(
+    record: Dict,
+    history: List[Dict],
+    window: int = DEFAULT_WINDOW,
+    max_wall_growth: float = DEFAULT_MAX_WALL_GROWTH,
+    min_median_wall: float = MIN_MEDIAN_WALL,
+) -> Comparison:
+    """Gate ``record`` against the trailing baseline drawn from ``history``."""
+    result = Comparison()
+    comparable = [
+        h for h in history
+        if h.get("solver") == record.get("solver")
+        and h.get("timeout_seconds") == record.get("timeout_seconds")
+    ]
+    skipped = len(history) - len(comparable)
+    if skipped:
+        result.notes.append(
+            f"{skipped} history record(s) with a different solver/budget "
+            "were excluded from the baseline"
+        )
+    trailing = comparable[-max(1, window):]
+    result.baseline_runs = len(trailing)
+    if not trailing:
+        result.notes.append("no comparable history - nothing to gate against")
+        return result
+
+    # -- Solved-set gate -------------------------------------------------------
+    baseline_solved = set(trailing[0].get("solved", []))
+    for entry in trailing[1:]:
+        baseline_solved &= set(entry.get("solved", []))
+    current_solved = set(record.get("solved", []))
+    result.missing = sorted(baseline_solved - current_solved)
+    result.new_solves = sorted(current_solved - baseline_solved)
+    if result.missing:
+        result.regressions.append(
+            f"solved-set shrink: {len(result.missing)} problem(s) solved in "
+            f"every trailing run are now unsolved: "
+            f"{', '.join(result.missing[:10])}"
+            f"{' ...' if len(result.missing) > 10 else ''}"
+        )
+
+    # -- Median wall gate ------------------------------------------------------
+    common = sorted(baseline_solved & current_solved)
+    baseline_walls: List[float] = []
+    current_walls: List[float] = []
+    per_problem = record.get("per_problem", {})
+    for name in common:
+        samples = [
+            entry["per_problem"][name]["wall"]
+            for entry in trailing
+            if name in entry.get("per_problem", {})
+        ]
+        if not samples or name not in per_problem:
+            continue
+        baseline_walls.append(statistics.median(samples))
+        current_walls.append(per_problem[name]["wall"])
+    if baseline_walls:
+        result.median_wall_baseline = statistics.median(baseline_walls)
+        result.median_wall_current = statistics.median(current_walls)
+        if result.median_wall_baseline >= min_median_wall:
+            result.wall_growth = (
+                result.median_wall_current - result.median_wall_baseline
+            ) / result.median_wall_baseline
+            if result.wall_growth > max_wall_growth:
+                result.regressions.append(
+                    f"median wall growth "
+                    f"{result.wall_growth * 100:.1f}% exceeds the "
+                    f"{max_wall_growth * 100:.0f}% budget"
+                )
+        else:
+            result.notes.append(
+                "baseline median below the noise floor - wall gate skipped"
+            )
+    result.ok = not result.regressions
+    return result
+
+
+def result_from_artifacts(out_dir: str) -> Dict:
+    """Rebuild a quick-bench ``{"records", "summary"}`` from its artifacts.
+
+    Lets ``bench-compare`` gate the run CI already executed (and uploaded)
+    instead of running the demo subset a second time.
+    """
+    import os
+
+    records: List[Dict] = []
+    with open(os.path.join(out_dir, "quick_bench.jsonl")) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    with open(os.path.join(out_dir, "quick_bench_summary.json")) as handle:
+        summary = json.load(handle)
+    return {"records": records, "summary": summary}

@@ -15,9 +15,11 @@ right in the workflow artifact, without waiting for a full campaign.
 
 ``--telemetry`` records the whole pass under the :mod:`repro.obs` layer;
 ``--metrics-out`` dumps the merged registry as Prometheus text (the CI
-metrics artifact).  ``--min-solved N`` turns the run into a gate: exit
-non-zero when fewer than N problems solve, so a telemetry-overhead or
-solver regression fails the workflow instead of silently shipping.
+metrics artifact).  ``--min-solved N`` turns the run into a simple gate:
+exit non-zero when fewer than N problems solve.  CI's actual gate is the
+richer ``dryadsynth bench-compare`` (see :mod:`repro.bench.history`), which
+reuses this run's artifacts and compares them against the committed
+``BENCH_history.jsonl`` trailing baseline.
 """
 
 from __future__ import annotations
@@ -135,7 +137,26 @@ def main(argv=None) -> int:
         metavar="N",
         help="fail (exit 1) when fewer than N problems solve",
     )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="emit structured JSON log lines (repro-log/1) to PATH, "
+        "or to stderr with '-'",
+    )
     args = parser.parse_args(argv)
+    if args.log_json:
+        from repro.obs.log import configure_json_logging, remove_json_logging
+
+        handler = configure_json_logging(args.log_json)
+        try:
+            return _main_impl(args)
+        finally:
+            remove_json_logging(handler)
+    return _main_impl(args)
+
+
+def _main_impl(args) -> int:
     telemetry = bool(args.telemetry or args.metrics_out)
     result = run_quick_bench(args.solver, args.timeout, telemetry=telemetry)
     os.makedirs(args.out, exist_ok=True)

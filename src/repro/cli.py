@@ -11,11 +11,18 @@ per problem — the batch/service entry point.
 ``dryadsynth profile spans.jsonl`` renders a per-phase time-attribution
 report (plus the hottest SMT queries) from a span dump produced with
 ``--spans-out`` (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
+
+``dryadsynth postmortem journal.flight.jsonl`` reconstructs what a killed
+worker was doing from its flight-recorder journal (``batch --flight-dir``).
+
+``dryadsynth bench-compare`` gates a quick-bench run against the committed
+``BENCH_history.jsonl`` regression history (see :mod:`repro.bench.history`).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -83,6 +90,34 @@ def _add_telemetry_out_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="record metrics and write a Prometheus text dump to PATH",
     )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="emit structured JSON log lines (repro-log/1) to PATH, "
+        "or to stderr with '-'",
+    )
+
+
+@contextlib.contextmanager
+def _json_logging(args):
+    """Attach the ``--log-json`` handler for the duration of a command."""
+    target = getattr(args, "log_json", None)
+    if not target:
+        yield None
+        return
+    from repro.obs.log import configure_json_logging, remove_json_logging
+
+    try:
+        handler = configure_json_logging(target)
+    except OSError as exc:
+        print(f"warning: cannot open log target: {exc}", file=sys.stderr)
+        yield None
+        return
+    try:
+        yield handler
+    finally:
+        remove_json_logging(handler)
 
 
 def _write_telemetry(recorder, args) -> None:
@@ -108,7 +143,16 @@ def main(argv: Optional[list] = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "postmortem":
+        return _postmortem_main(argv[1:])
+    if argv and argv[0] == "bench-compare":
+        return _bench_compare_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
+    with _json_logging(args):
+        return _single_main(args)
+
+
+def _single_main(args) -> int:
     try:
         problem = parse_sygus_file(args.file)
     except (OSError, Exception) as exc:  # noqa: BLE001 - CLI boundary
@@ -243,7 +287,25 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         "--telemetry",
         action="store_true",
         help="record spans/metrics inside every worker and merge them into "
-        "a fleet-wide view (implied by --spans-out/--metrics-out)",
+        "a fleet-wide view (implied by --spans-out/--metrics-out/"
+        "--serve-telemetry)",
+    )
+    parser.add_argument(
+        "--serve-telemetry",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /jobs over HTTP on "
+        "127.0.0.1:PORT while the batch runs (0 picks a free port; "
+        "implies --telemetry)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="give every attempt a crash-resistant flight-recorder journal "
+        "in DIR; journals of killed/crashed workers are kept and recovered "
+        "into the result's postmortem (render with `dryadsynth postmortem`)",
     )
     _add_telemetry_out_args(parser)
     return parser
@@ -272,7 +334,13 @@ def _batch_main(argv) -> int:
     if not files:
         print("error: no .sl files found", file=sys.stderr)
         return 2
-    telemetry = bool(args.telemetry or args.spans_out or args.metrics_out)
+    serve = args.serve_telemetry is not None
+    telemetry = bool(
+        args.telemetry or args.spans_out or args.metrics_out or serve
+    )
+    # Workers under the spawn start method re-attach logging from the job's
+    # params; `-` is parent-only (worker stderr is not the terminal).
+    params = {"log_json": args.log_json} if args.log_json else {}
     jobs = []
     for path in files:
         try:
@@ -282,6 +350,7 @@ def _batch_main(argv) -> int:
                     solver=args.solver,
                     timeout=args.timeout,
                     telemetry=telemetry,
+                    params=dict(params),
                 )
             )
         except OSError as exc:
@@ -298,22 +367,31 @@ def _batch_main(argv) -> int:
             file=sys.stderr,
         )
 
-    def run_pool():
-        with WorkerPool(
-            workers=args.jobs, max_retries=args.retries, cache=cache
-        ) as pool:
-            return pool.run(jobs, progress=progress)
+    pool = WorkerPool(
+        workers=args.jobs,
+        max_retries=args.retries,
+        cache=cache,
+        flight_dir=args.flight_dir,
+    )
+    with _json_logging(args):
+        if telemetry:
+            from repro import obs
 
-    if telemetry:
-        from repro import obs
-
-        # The parent-side recorder is the merge target for every worker's
-        # shipped span tree and metric snapshot (see WorkerPool.complete).
-        with obs.recording() as recorder:
-            results = run_pool()
-        _write_telemetry(recorder, args)
-    else:
-        results = run_pool()
+            # The parent-side recorder is the merge target for every
+            # worker's shipped span tree and metric snapshot (see
+            # WorkerPool.complete) — and what /metrics scrapes serve.
+            with obs.recording() as recorder:
+                server = _start_telemetry_server(args, pool, recorder)
+                try:
+                    with pool:
+                        results = pool.run(jobs, progress=progress)
+                finally:
+                    if server is not None:
+                        server.stop()
+            _write_telemetry(recorder, args)
+        else:
+            with pool:
+                results = pool.run(jobs, progress=progress)
     elapsed = time.monotonic() - start
     out = open(args.out, "w") if args.out else sys.stdout
     try:
@@ -340,6 +418,188 @@ def _batch_main(argv) -> int:
         file=sys.stderr,
     )
     return 1 if crashed else 0
+
+
+def _start_telemetry_server(args, pool, recorder):
+    """Start the live HTTP endpoint for ``--serve-telemetry`` (best-effort)."""
+    if args.serve_telemetry is None:
+        return None
+    from repro.obs.live import TelemetryServer
+
+    try:
+        server = TelemetryServer(
+            port=args.serve_telemetry,
+            metrics_fn=lambda: recorder.metrics.to_prometheus(),
+            jobs_fn=pool.jobs_snapshot,
+            health_extra=lambda: {"workers_alive": len(pool.worker_pids())},
+        ).start()
+    except OSError as exc:
+        print(f"warning: cannot serve telemetry: {exc}", file=sys.stderr)
+        return None
+    print(
+        f"; serving telemetry on {server.url} "
+        "(/metrics /healthz /jobs)",
+        file=sys.stderr,
+    )
+    return server
+
+
+def build_postmortem_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth postmortem",
+        description=(
+            "Reconstruct what a worker was doing from the flight-recorder "
+            "journal it left behind (see `dryadsynth batch --flight-dir`)."
+        ),
+    )
+    parser.add_argument(
+        "journal",
+        help="flight journal (*.flight.jsonl) of a crashed/killed attempt",
+    )
+    parser.add_argument(
+        "--tail",
+        type=int,
+        default=25,
+        metavar="K",
+        help="spans/events from the end of the ring to show (default: 25)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw post-mortem payload as JSON instead of a report",
+    )
+    return parser
+
+
+def _postmortem_main(argv) -> int:
+    from repro.obs.flight import read_postmortem, render_postmortem
+
+    args = build_postmortem_arg_parser().parse_args(argv)
+    try:
+        postmortem = read_postmortem(args.journal, tail=args.tail)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if postmortem is None:
+        print(
+            f"error: no recoverable flight journal at {args.journal}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(postmortem, indent=1, sort_keys=True))
+    else:
+        print(render_postmortem(postmortem))
+    return 0
+
+
+def build_bench_compare_arg_parser() -> argparse.ArgumentParser:
+    from repro.bench.history import DEFAULT_MAX_WALL_GROWTH, DEFAULT_WINDOW
+
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth bench-compare",
+        description=(
+            "Gate a quick-bench run against the committed benchmark "
+            "regression history: fail on a solved-set shrink or on median "
+            "per-problem wall growth beyond the budget."
+        ),
+    )
+    parser.add_argument(
+        "--against",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="history JSONL store to gate against "
+        "(default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--from-dir",
+        default=None,
+        metavar="DIR",
+        help="reuse quick-bench artifacts (quick_bench.jsonl + "
+        "quick_bench_summary.json) from DIR instead of re-running the "
+        "demo subset",
+    )
+    parser.add_argument("--solver", default="dryadsynth")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-problem budget when running fresh (default: 2)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        metavar="N",
+        help=f"trailing history records forming the baseline "
+        f"(default: {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--max-wall-growth",
+        type=float,
+        default=DEFAULT_MAX_WALL_GROWTH,
+        metavar="FRACTION",
+        help="allowed median per-problem wall growth "
+        "(default: 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append this run's record to the history store when it passes",
+    )
+    parser.add_argument(
+        "--record-out",
+        default=None,
+        metavar="PATH",
+        help="also write this run's history record as JSON to PATH "
+        "(the CI artifact)",
+    )
+    return parser
+
+
+def _bench_compare_main(argv) -> int:
+    from repro.bench import history as bench_history
+
+    args = build_bench_compare_arg_parser().parse_args(argv)
+    if args.from_dir:
+        try:
+            result = bench_history.result_from_artifacts(args.from_dir)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read artifacts: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.bench.quick_bench import run_quick_bench
+
+        print(
+            f"; running the demo subset (solver={args.solver}, "
+            f"timeout={args.timeout:g}s)",
+            file=sys.stderr,
+        )
+        result = run_quick_bench(args.solver, args.timeout)
+    record = bench_history.record_from_quick_bench(result)
+    history = bench_history.load_history(args.against)
+    comparison = bench_history.compare(
+        record,
+        history,
+        window=args.window,
+        max_wall_growth=args.max_wall_growth,
+    )
+    print(comparison.render())
+    if args.record_out:
+        try:
+            with open(args.record_out, "w") as handle:
+                json.dump(record, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"warning: cannot write record: {exc}", file=sys.stderr)
+    if args.append and comparison.ok:
+        try:
+            bench_history.append_history(args.against, record)
+            print(f"; recorded into {args.against}", file=sys.stderr)
+        except OSError as exc:
+            print(f"warning: cannot append history: {exc}", file=sys.stderr)
+    return 0 if comparison.ok else 1
 
 
 def build_profile_arg_parser() -> argparse.ArgumentParser:

@@ -1,6 +1,6 @@
 """``repro.obs`` — low-overhead telemetry for the cooperative solver.
 
-Three layers (see ``docs/OBSERVABILITY.md``):
+Six layers (see ``docs/OBSERVABILITY.md``):
 
 - **Spans** (:mod:`repro.obs.spans`): hierarchical timed regions with typed
   attributes, from the cooperative loop down to individual SMT queries.
@@ -9,6 +9,14 @@ Three layers (see ``docs/OBSERVABILITY.md``):
 - **Exports** (:mod:`repro.obs.export`, :mod:`repro.obs.profile`): JSONL
   span sink, Prometheus text dump, and the ``dryadsynth profile``
   time-attribution report.
+- **Structured logging** (:mod:`repro.obs.log`): JSON-lines service log
+  with job/problem correlation IDs (``--log-json``).
+- **Live telemetry** (:mod:`repro.obs.live`): an in-process HTTP endpoint
+  serving ``/metrics``, ``/healthz`` and ``/jobs`` while a batch runs
+  (``dryadsynth batch --serve-telemetry PORT``).
+- **Flight recorder** (:mod:`repro.obs.flight`): a crash-resistant journal
+  of recent telemetry, recovered as ``JobResult.postmortem`` when a worker
+  dies (``dryadsynth postmortem <journal>``).
 
 Recording is **disabled by default**.  Instrumented modules call the
 ambient helpers in this module (:func:`span`, :func:`event`,

@@ -45,23 +45,34 @@ def dump_spans_jsonl(recorder: SpanRecorder, handle: TextIO) -> None:
 def read_spans_jsonl(path: str) -> Tuple[List[Span], List[ObsEvent], Dict]:
     """Load a spans JSONL file; returns ``(spans, events, header)``.
 
-    Unknown record kinds are skipped so future writers stay readable.
+    Unknown record kinds are skipped so future writers stay readable.  A
+    *truncated final line* — what a writer killed mid-write (SIGKILL, hard
+    deadline) leaves behind — is silently dropped, so every complete record
+    before the torn tail is still recovered; a corrupt *interior* line still
+    raises, because that means the file is damaged, not merely unfinished.
     """
     spans: List[Span] = []
     events: List[ObsEvent] = []
     header: Dict = {}
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
+        lines = handle.read().split("\n")
+    last = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             record = json.loads(line)
-            if "span" in record:
-                spans.append(Span.from_json(record["span"]))
-            elif "event" in record:
-                events.append(ObsEvent.from_json(record["event"]))
-            elif record.get("format", "").startswith("repro-spans/"):
-                header = record
+        except json.JSONDecodeError:
+            if index == last:
+                break
+            raise
+        if "span" in record:
+            spans.append(Span.from_json(record["span"]))
+        elif "event" in record:
+            events.append(ObsEvent.from_json(record["event"]))
+        elif record.get("format", "").startswith("repro-spans/"):
+            header = record
     return spans, events, header
 
 

@@ -1,0 +1,295 @@
+"""Crash flight recorder: a journaled ring buffer of recent telemetry.
+
+A worker that is SIGKILLed — by the pool enforcing a hard deadline, by the
+kernel's OOM killer — loses its in-memory :class:`~repro.obs.spans.SpanRecorder`
+and everything it would have shipped back in ``JobResult.telemetry``.  The
+:class:`FlightRecorder` exists for exactly that moment: it mirrors the most
+recent spans/events/notes into a bounded in-memory ring *and* an on-disk
+journal, written one record per line and flushed per record, so the parent
+can recover a post-mortem from the file the dead worker left behind.
+
+Crash-resistance contract:
+
+- every record is appended as one line and flushed to the OS immediately —
+  a SIGKILL can tear at most the final line (the tolerant readers drop it);
+- the journal is bounded: once appends exceed ``2 × capacity`` the file is
+  *rotated atomically* (ring contents written to a temp file, fsynced,
+  ``os.replace``d over the journal), so a runaway worker cannot fill the
+  disk and a reader never observes a half-rotated file.
+
+The parent recovers with :func:`read_postmortem` (attached to
+``JobResult.postmortem`` by the pool) and operators render journals with
+``dryadsynth postmortem <journal>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+FLIGHT_FORMAT = "repro-flight/1"
+
+#: Ring capacity: how many recent records survive a crash.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Journal the most recent telemetry records crash-resistantly.
+
+    Implements the :class:`~repro.obs.spans.SpanRecorder` sink protocol
+    (:meth:`on_span` / :meth:`on_event`), so attaching one to a recorder
+    mirrors the span stream into the journal as spans complete.  Plain
+    :meth:`note` records mark lifecycle points (job start/end) that exist
+    even when no span ever completes — a worker killed inside its first
+    span still leaves a readable journal.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        capacity: int = DEFAULT_CAPACITY,
+        meta: Optional[Dict] = None,
+    ) -> None:
+        self.path = path
+        self.capacity = max(1, capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._appended = 0
+        self._closed = False
+        self._header = {
+            "format": FLIGHT_FORMAT,
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "created": round(time.time(), 3),
+        }
+        if meta:
+            self._header["meta"] = dict(meta)
+        self._handle = open(path, "w")
+        self._append(self._header, to_ring=False)
+
+    # -- Record kinds ----------------------------------------------------------
+
+    def note(self, name: str, **attrs) -> None:
+        """A lifecycle marker (``job.start``, ``job.end``, ...)."""
+        self._record({"note": {"name": name, "ts": round(time.time(), 3),
+                               "attrs": attrs}})
+
+    def on_span(self, span) -> None:
+        self._record({"span": span.to_json()})
+
+    def on_event(self, event) -> None:
+        self._record({"event": event.to_json()})
+
+    # -- Journal mechanics -----------------------------------------------------
+
+    def _record(self, record: Dict) -> None:
+        if self._closed:
+            return
+        self._append(record)
+        if self._appended > 2 * self.capacity:
+            self._rotate()
+
+    def _append(self, record: Dict, to_ring: bool = True) -> None:
+        if to_ring:
+            self._ring.append(record)
+            self._appended += 1
+        try:
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            # A failing journal must never take the job down with it.
+            self._closed = True
+
+    def _rotate(self) -> None:
+        """Rewrite the journal as header + ring, atomically."""
+        tmp = self.path + ".rotate"
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(json.dumps(self._header) + "\n")
+                for record in self._ring:
+                    handle.write(json.dumps(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "a")
+            self._appended = len(self._ring)
+        except OSError:
+            self._closed = True
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if not self._closed:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+        self._closed = True
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+def read_flight_journal(path: str) -> Dict:
+    """Parse a journal tolerantly; returns header + record lists.
+
+    A truncated final line (the writer died mid-write) is expected and
+    dropped; so are blank lines.  Corrupt *interior* lines are counted in
+    ``"corrupt"`` rather than raised — a post-mortem reader salvages what it
+    can, because the alternative is losing the whole journal to one torn
+    byte.
+    """
+    header: Dict = {}
+    notes: List[Dict] = []
+    spans: List[Dict] = []
+    events: List[Dict] = []
+    corrupt = 0
+    truncated = False
+    with open(path) as handle:
+        lines = handle.read().split("\n")
+    last = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == last:
+                truncated = True
+            else:
+                corrupt += 1
+            continue
+        if "note" in record:
+            notes.append(record["note"])
+        elif "span" in record:
+            spans.append(record["span"])
+        elif "event" in record:
+            events.append(record["event"])
+        elif record.get("format") == FLIGHT_FORMAT:
+            header = record
+    return {
+        "header": header,
+        "notes": notes,
+        "spans": spans,
+        "events": events,
+        "corrupt": corrupt,
+        "truncated": truncated,
+    }
+
+
+def read_postmortem(path: str, tail: int = 25) -> Optional[Dict]:
+    """Build the ``JobResult.postmortem`` payload from a journal file.
+
+    Returns ``None`` when the journal is missing or holds no records at all
+    (not even a header) — there is nothing to report.  The payload is
+    bounded: only the last ``tail`` spans/events ride along, plus every
+    lifecycle note and a summary of what the worker was doing last.
+    """
+    try:
+        journal = read_flight_journal(path)
+    except OSError:
+        return None
+    if not (journal["header"] or journal["notes"] or journal["spans"]
+            or journal["events"]):
+        return None
+    spans = journal["spans"]
+    events = journal["events"]
+    last_record: Optional[Dict] = None
+    if spans or events:
+        # The journal is append-ordered; the later of the two stream tails
+        # is what the worker touched last.
+        last_span = spans[-1] if spans else None
+        last_event = events[-1] if events else None
+        if last_span and last_event:
+            span_end = last_span.get("start", 0.0) + last_span.get("wall", 0.0)
+            last_record = (
+                {"span": last_span}
+                if span_end >= last_event.get("elapsed", 0.0)
+                else {"event": last_event}
+            )
+        else:
+            last_record = (
+                {"span": last_span} if last_span else {"event": last_event}
+            )
+    elif journal["notes"]:
+        last_record = {"note": journal["notes"][-1]}
+    return {
+        "journal": path,
+        "pid": journal["header"].get("pid"),
+        "meta": journal["header"].get("meta", {}),
+        "notes": journal["notes"],
+        "num_spans": len(spans),
+        "num_events": len(events),
+        "spans": spans[-tail:],
+        "events": events[-tail:],
+        "truncated": journal["truncated"],
+        "corrupt": journal["corrupt"],
+        "last": last_record,
+    }
+
+
+def render_postmortem(postmortem: Dict) -> str:
+    """Human-readable report for ``dryadsynth postmortem``."""
+    lines: List[str] = []
+    meta = postmortem.get("meta") or {}
+    title = meta.get("job_id") or meta.get("name") or postmortem.get("journal")
+    lines.append(f"post-mortem: {title}")
+    if meta:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"  job: {rendered}")
+    if postmortem.get("pid"):
+        lines.append(f"  worker pid: {postmortem['pid']}")
+    flags = []
+    if postmortem.get("truncated"):
+        flags.append("final line torn (writer died mid-write)")
+    if postmortem.get("corrupt"):
+        flags.append(f"{postmortem['corrupt']} corrupt interior line(s)")
+    if flags:
+        lines.append(f"  journal: {'; '.join(flags)}")
+    lines.append(
+        f"  recorded: {postmortem.get('num_spans', 0)} span(s), "
+        f"{postmortem.get('num_events', 0)} event(s), "
+        f"{len(postmortem.get('notes', []))} note(s)"
+    )
+    notes = postmortem.get("notes") or []
+    if notes:
+        lines.append("  lifecycle:")
+        for note in notes:
+            attrs = note.get("attrs") or {}
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(f"    {note.get('name', '?')} {rendered}".rstrip())
+    spans = postmortem.get("spans") or []
+    if spans:
+        lines.append(f"  last {len(spans)} span(s):")
+        for span in spans:
+            attrs = span.get("attrs") or {}
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(
+                f"    +{span.get('start', 0.0):8.3f}s "
+                f"{span.get('name', '?'):<12s} "
+                f"wall={span.get('wall', 0.0):.4f}s {rendered}".rstrip()
+            )
+    events = postmortem.get("events") or []
+    if events:
+        lines.append(f"  last {len(events)} event(s):")
+        for event in events:
+            attrs = event.get("attrs") or {}
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(
+                f"    +{event.get('elapsed', 0.0):8.3f}s "
+                f"{event.get('name', '?'):<12s} {rendered}".rstrip()
+            )
+    last = postmortem.get("last")
+    if last:
+        kind, payload = next(iter(last.items()))
+        name = payload.get("name", "?")
+        lines.append(f"  last activity: {kind} {name!r}")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Live telemetry endpoint: scrape a running batch over HTTP.
+
+Stdlib-only (:mod:`http.server` on a daemon thread) so the service layer
+keeps its zero-dependency promise.  Three endpoints:
+
+- ``/metrics`` — the merged :class:`~repro.obs.metrics.MetricsRegistry` in
+  Prometheus text exposition format (a scrape target, version 0.0.4);
+- ``/healthz`` — liveness JSON (status, uptime, pid);
+- ``/jobs`` — the pool's per-job view: state (queued / running / retrying /
+  done), queue wait, remaining hard deadline, assigned worker pid.
+
+The server never *computes* anything: it renders provider callbacks
+(``metrics_fn`` returning exposition text, ``jobs_fn`` returning a list of
+dicts) supplied by whoever owns the run — ``dryadsynth batch
+--serve-telemetry PORT`` wires them to the ambient recorder and the
+:class:`~repro.service.pool.WorkerPool`, whose scheduler loop keeps the job
+states fresh.  Handlers run on the server thread while the pool mutates on
+the main thread; providers must therefore return snapshots (the pool's
+``jobs_snapshot`` copies under its lock, and the registry render is retried
+on the rare mid-mutation ``RuntimeError``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TelemetryServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/jobs`` on a daemon thread."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        metrics_fn: Optional[Callable[[], str]] = None,
+        jobs_fn: Optional[Callable[[], List[Dict]]] = None,
+        health_extra: Optional[Callable[[], Dict]] = None,
+    ) -> None:
+        self.metrics_fn = metrics_fn
+        self.jobs_fn = jobs_fn
+        self.health_extra = health_extra
+        self.started_at = time.monotonic()
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # noqa: A003 - stdlib name
+                pass  # scrapes must not spam the operator's stderr
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib name
+                server._handle(self)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]  # resolved when port was 0
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- Request handling (runs on the server thread) ---------------------------
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = self._render_metrics().encode()
+                self._reply(request, 200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                self._reply_json(request, 200, self._health())
+            elif path == "/jobs":
+                self._reply_json(request, 200, self._jobs())
+            else:
+                self._reply_json(
+                    request, 404,
+                    {"error": "not found",
+                     "endpoints": ["/metrics", "/healthz", "/jobs"]},
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-reply
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            try:
+                self._reply_json(
+                    request, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except OSError:
+                pass
+
+    def _render_metrics(self) -> str:
+        if self.metrics_fn is None:
+            return ""
+        # The registry may gain a metric mid-render on the pool thread; the
+        # dump only reads, so a retry after the rare RuntimeError suffices.
+        for attempt in range(3):
+            try:
+                return self.metrics_fn()
+            except RuntimeError:
+                if attempt == 2:
+                    raise
+                time.sleep(0.005)
+        return ""
+
+    def _health(self) -> Dict:
+        import os
+
+        payload: Dict = {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "pid": os.getpid(),
+        }
+        if self.health_extra is not None:
+            try:
+                payload.update(self.health_extra())
+            except Exception as exc:  # noqa: BLE001 - health must not 500
+                payload["status"] = "degraded"
+                payload["error"] = f"{type(exc).__name__}: {exc}"
+        return payload
+
+    def _jobs(self) -> Dict:
+        jobs = list(self.jobs_fn()) if self.jobs_fn is not None else []
+        counts: Dict[str, int] = {}
+        for job in jobs:
+            state = str(job.get("state", "unknown"))
+            counts[state] = counts.get(state, 0) + 1
+        return {"jobs": jobs, "counts": counts, "total": len(jobs)}
+
+    @staticmethod
+    def _reply(request, code: int, content_type: str, body: bytes) -> None:
+        request.send_response(code)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    @classmethod
+    def _reply_json(cls, request, code: int, payload: Dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        cls._reply(request, code, "application/json", body)

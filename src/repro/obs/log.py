@@ -1,0 +1,154 @@
+"""Structured JSON logging: one JSON object per line, correlation-ID aware.
+
+This is the *service log* of the stack — the stream an operator tails (or
+ships to a log aggregator) while a batch runs, as opposed to the span/metric
+telemetry that is analysed after the fact.  It is a thin adapter over stdlib
+:mod:`logging`:
+
+- :func:`configure_json_logging` attaches a :class:`JsonLineFormatter`
+  handler to the ``repro`` logger tree, so every module logger
+  (``repro.service.pool``, ``repro.synth.cooperative``, ...) feeds it;
+- :func:`log_context` pushes correlation fields (``job_id``, ``problem``,
+  ``solver``) onto a :mod:`contextvars` context, and the formatter stamps
+  them onto every record emitted underneath — this is how one job's pool
+  events, cooperative-loop milestones and SMT events correlate across the
+  log without threading IDs through every call signature;
+- :func:`jlog` emits one structured event: the message is a stable
+  ``dotted.event.name`` and the payload travels as typed fields, never
+  interpolated into the message.
+
+Workers inherit the handler under the ``fork`` start method; under ``spawn``
+the job carries the target path in ``params["log_json"]`` and the worker
+re-attaches idempotently (:func:`ensure_worker_logging`).  All processes
+append to the same file; each record is a single ``write()`` of one line,
+so concurrent appends interleave per-line, not mid-line.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+LOG_FORMAT = "repro-log/1"
+
+#: Correlation fields stamped onto every record emitted in this context.
+_context: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_log_context", default=None
+)
+
+#: Targets already configured in this process (inherited across fork, which
+#: is exactly the bookkeeping that makes re-attachment idempotent).
+_configured: Dict[str, logging.Handler] = {}
+
+
+def current_context() -> Dict:
+    """The correlation fields in effect (empty outside any :func:`log_context`)."""
+    return dict(_context.get() or {})
+
+
+@contextmanager
+def log_context(**fields):
+    """Push correlation fields for every record emitted in the body.
+
+    Nested contexts merge (inner wins on key collision); ``None`` values are
+    dropped.  Uses :mod:`contextvars`, so threads and the pool's scheduler
+    loop each see their own stack.
+    """
+    base = _context.get() or {}
+    merged = dict(base)
+    merged.update({k: v for k, v in fields.items() if v is not None})
+    token = _context.set(merged)
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def jlog(logger: logging.Logger, event: str, /,
+         level: int = logging.INFO, **fields) -> None:
+    """Emit one structured event (``event`` is the message, fields are data).
+
+    A no-op at disabled levels before any formatting work happens, so
+    hot-path call sites (per-SMT-query events at DEBUG) stay cheap when the
+    operator did not ask for them.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"repro_fields": fields})
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render a log record as one JSON object per line.
+
+    Field order: envelope (timestamp, level, logger, event, pid), then the
+    ambient correlation context, then the record's own structured fields —
+    later sources win on collision, so an event can override its context.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+            "pid": record.process,
+        }
+        payload.update(_context.get() or {})
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_json_logging(
+    target: str,
+    level: int = logging.INFO,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Attach a JSON-lines handler for ``target`` (a path, or ``-`` for stderr).
+
+    Returns the handler so the caller can :func:`remove_json_logging` it.
+    ``-`` goes to *stderr* (not stdout) because the CLIs reserve stdout for
+    results — solutions and batch JSONL records.
+    """
+    if target == "-":
+        handler: logging.Handler = logging.StreamHandler(sys.stderr)
+    else:
+        handler = logging.FileHandler(target, mode="a")
+    handler.setFormatter(JsonLineFormatter())
+    handler.setLevel(level)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    _configured[target] = handler
+    return handler
+
+
+def remove_json_logging(
+    handler: logging.Handler, logger_name: str = "repro"
+) -> None:
+    """Detach and close a handler installed by :func:`configure_json_logging`."""
+    logging.getLogger(logger_name).removeHandler(handler)
+    handler.close()
+    for target, installed in list(_configured.items()):
+        if installed is handler:
+            del _configured[target]
+
+
+def ensure_worker_logging(target: Optional[str]) -> None:
+    """Idempotently attach JSON logging inside a worker process.
+
+    Under ``fork`` the parent's handler (and ``_configured``) were inherited
+    and this is a no-op; under ``spawn`` the worker starts clean and attaches
+    its own appending handler.  ``-`` is parent-only (worker stderr is not
+    the operator's terminal), so it is ignored here.
+    """
+    if not target or target == "-" or target in _configured:
+        return
+    configure_json_logging(target)

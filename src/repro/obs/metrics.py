@@ -23,6 +23,37 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Help strings for the well-known metric names (dotted form).  Metrics not
+#: listed here get a generated placeholder, so every family in the text dump
+#: still carries a ``# HELP`` line (the exposition format expects one).
+METRIC_HELP: Dict[str, str] = {
+    "smt.checks": "SmtSolver.solve calls",
+    "smt.rounds": "DPLL(T) rounds across all checks",
+    "smt.lemmas": "theory lemmas learned",
+    "smt.theory_conflicts": "theory-layer conflicts",
+    "smt.simplex_pivots": "simplex pivot operations",
+    "smt.solve_seconds": "per-query SMT latency",
+    "sat.conflicts": "CDCL conflicts",
+    "sat.decisions": "CDCL decisions",
+    "sat.learnts_deleted": "learned clauses deleted by DB reduction",
+    "sat.learnts": "learned-clause DB high-water mark",
+    "sat.vars": "SAT variable high-water mark",
+    "cache.hits": "result-cache hits",
+    "cache.misses": "result-cache misses",
+    "cache.evictions": "result-cache evictions",
+    "pool.jobs_completed": "worker-pool job completions",
+    "pool.jobs_running": "jobs currently assigned to a worker",
+    "pool.jobs_queued": "jobs admitted but not yet assigned",
+    "pool.workers_alive": "live worker processes",
+    "pool.queue_wait_seconds": "submission-to-assignment latency",
+    "pool.postmortems_recovered": "flight-recorder post-mortems recovered",
+}
+
+
+def register_metric_help(name: str, text: str) -> None:
+    """Register (or override) the ``# HELP`` text for a dotted metric name."""
+    METRIC_HELP[name] = text
+
 
 class Counter:
     """A monotonically increasing tally."""
@@ -152,19 +183,31 @@ class MetricsRegistry:
     # -- Prometheus text dump --------------------------------------------------
 
     def to_prometheus(self, prefix: str = "repro_") -> str:
-        """The text exposition format (``--metrics-out``'s payload)."""
+        """The text exposition format (``--metrics-out`` and ``/metrics``).
+
+        Conforms to the Prometheus text format (version 0.0.4): every metric
+        family gets ``# HELP`` and ``# TYPE`` lines, counters are suffixed
+        ``_total``, histograms expose cumulative ``_bucket`` series ending in
+        ``le="+Inf"`` plus ``_sum`` and ``_count``.
+        """
         lines: List[str] = []
+
+        def head(metric: str, name: str, kind: str) -> None:
+            help_text = METRIC_HELP.get(name, f"repro metric {name}")
+            lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {metric} {kind}")
+
         for name, counter in sorted(self._counters.items()):
             metric = prefix + _sanitize(name) + "_total"
-            lines.append(f"# TYPE {metric} counter")
+            head(metric, name, "counter")
             lines.append(f"{metric} {counter.value}")
         for name, gauge in sorted(self._gauges.items()):
             metric = prefix + _sanitize(name)
-            lines.append(f"# TYPE {metric} gauge")
+            head(metric, name, "gauge")
             lines.append(f"{metric} {_format(gauge.value)}")
         for name, hist in sorted(self._histograms.items()):
             metric = prefix + _sanitize(name)
-            lines.append(f"# TYPE {metric} histogram")
+            head(metric, name, "histogram")
             cumulative = 0
             for bound, count in zip(hist.bounds, hist.counts):
                 cumulative += count
@@ -179,6 +222,10 @@ class MetricsRegistry:
 
 def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format(value: float) -> str:

@@ -210,6 +210,11 @@ class SpanRecorder:
         self.max_spans = max_spans
         self.dropped = 0
         self.pid = os.getpid()
+        #: Optional streaming sink (``on_span(span)`` / ``on_event(event)``)
+        #: notified as records complete — the flight recorder's hook.  Sinks
+        #: see records even past ``max_spans``: the cap protects memory, and
+        #: a journaling sink is bounded on its own.
+        self.sink = None
         self._ids = itertools.count(1)
         self._tls = threading.local()
 
@@ -220,6 +225,8 @@ class SpanRecorder:
         return stack
 
     def _finish(self, span: Span) -> None:
+        if self.sink is not None:
+            self.sink.on_span(span)
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
             return
@@ -242,18 +249,19 @@ class SpanRecorder:
         if not self.enabled:
             return
         stack = self._stack()
+        event = ObsEvent(
+            name=name,
+            elapsed=time.monotonic() - self.epoch,
+            attrs=_coerce_attrs(attrs),
+            domain=domain,
+            span_id=stack[-1] if stack else None,
+        )
+        if self.sink is not None:
+            self.sink.on_event(event)
         if len(self.events) >= self.max_spans:
             self.dropped += 1
             return
-        self.events.append(
-            ObsEvent(
-                name=name,
-                elapsed=time.monotonic() - self.epoch,
-                attrs=_coerce_attrs(attrs),
-                domain=domain,
-                span_id=stack[-1] if stack else None,
-            )
-        )
+        self.events.append(event)
 
     @property
     def current_span_id(self) -> Optional[int]:

@@ -10,12 +10,16 @@ values never cross the process boundary.
 
 from __future__ import annotations
 
+import logging
 import time
 import traceback
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
+from repro.obs.log import ensure_worker_logging, jlog, log_context
 from repro.synth.config import SynthConfig
+
+logger = logging.getLogger(__name__)
 
 # Job outcome statuses (plain strings so JSON round-trips are trivial).
 SOLVED = "solved"
@@ -51,7 +55,14 @@ class SynthesisJob:
     #: result's ``telemetry`` payload (see :mod:`repro.obs`).  Off by
     #: default; does not affect the job's fingerprint.
     telemetry: bool = False
-    #: Free-form extras for special solvers (e.g. debug hooks).
+    #: Flight-recorder journal path (see :mod:`repro.obs.flight`): the
+    #: worker mirrors its recent telemetry into this crash-resistant file so
+    #: the parent can recover a post-mortem if it has to kill the worker.
+    #: Assigned per attempt by the pool when it has a ``flight_dir``; does
+    #: not affect the fingerprint.
+    flight_journal: Optional[str] = None
+    #: Free-form extras for special solvers (e.g. debug hooks) and worker
+    #: plumbing (``log_json``: re-attach structured logging under spawn).
     params: Dict[str, str] = field(default_factory=dict)
 
     @property
@@ -129,6 +140,10 @@ class JobResult:
     #: Worker-side telemetry (``{"spans": ..., "metrics": ...}``) when the
     #: job asked for it; the parent merges this into its own recorder.
     telemetry: Optional[Dict] = None
+    #: Flight-recorder recovery (:func:`repro.obs.flight.read_postmortem`):
+    #: what the worker was doing when it crashed or was terminated.  Only
+    #: populated for jobs that had a failed attempt with a journal.
+    postmortem: Optional[Dict] = None
 
     @property
     def solved(self) -> bool:
@@ -281,32 +296,84 @@ def execute_job(job: SynthesisJob) -> JobResult:
 
     Never raises: any exception is folded into a ``crashed`` result so a
     worker survives bad jobs (hard crashes — ``os._exit``, OOM kills — are
-    detected by the parent instead).
+    detected by the parent instead).  Execution runs under a
+    :func:`~repro.obs.log.log_context` carrying the job/problem correlation
+    IDs, so every structured log record the solver stack emits below — down
+    to per-query SMT events — is attributable to this job.  When the pool
+    assigned a ``flight_journal``, a :class:`~repro.obs.flight.FlightRecorder`
+    mirrors lifecycle notes and completed spans to disk *before* the solver
+    runs, so even a worker SIGKILLed mid-job leaves a recoverable journal.
     """
     start = time.monotonic()
-    try:
-        debug = _debug_solver_result(job, start)
-        if debug is not None:
-            return debug
-        if job.telemetry:
-            from repro import obs
-            from repro.obs.export import telemetry_payload
+    ensure_worker_logging(job.params.get("log_json"))
+    flight = _open_flight(job)
+    with log_context(job_id=job.job_id or None, problem=job.name,
+                     solver=job.solver):
+        jlog(logger, "job.start", timeout=job.effective_timeout)
+        try:
+            result = _execute_recorded(job, start, flight)
+        except Exception as exc:  # noqa: BLE001 - worker survival boundary
+            result = JobResult(
+                job.job_id,
+                job.name,
+                job.solver,
+                CRASHED,
+                wall_time=time.monotonic() - start,
+                error=f"{type(exc).__name__}: {exc}",
+                failures=[traceback.format_exc(limit=8)],
+            )
+            jlog(logger, "job.crashed", level=logging.ERROR,
+                 error=result.error)
+        jlog(logger, "job.end", status=result.status,
+             wall=round(result.wall_time, 4))
+        if flight is not None:
+            flight.note("job.end", status=result.status,
+                        wall=round(result.wall_time, 4))
+            flight.close()
+        return result
 
-            with obs.recording() as recorder:
-                result = _execute_real_job(job, start)
-            result.telemetry = telemetry_payload(recorder)
-            return result
-        return _execute_real_job(job, start)
-    except Exception as exc:  # noqa: BLE001 - worker survival boundary
-        return JobResult(
-            job.job_id,
-            job.name,
-            job.solver,
-            CRASHED,
-            wall_time=time.monotonic() - start,
-            error=f"{type(exc).__name__}: {exc}",
-            failures=[traceback.format_exc(limit=8)],
+
+def _open_flight(job: SynthesisJob):
+    """Open the job's flight journal (best-effort; never blocks the job)."""
+    if not job.flight_journal:
+        return None
+    try:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(
+            job.flight_journal,
+            meta={"job_id": job.job_id, "name": job.name,
+                  "solver": job.solver},
         )
+        flight.note("job.start", timeout=job.effective_timeout or 0.0)
+        return flight
+    except OSError:
+        return None
+
+
+def _execute_recorded(job: SynthesisJob, start: float, flight) -> JobResult:
+    """Dispatch to debug/real execution, recording telemetry when asked.
+
+    A flight recorder forces an in-worker span recorder even when the job
+    did not request shipped telemetry: the journal needs the span stream,
+    but the (potentially large) payload only rides back on
+    ``JobResult.telemetry`` when ``job.telemetry`` is set.
+    """
+    debug = _debug_solver_result(job, start)
+    if debug is not None:
+        return debug
+    if job.telemetry or flight is not None:
+        from repro import obs
+        from repro.obs.export import telemetry_payload
+
+        with obs.recording() as recorder:
+            if flight is not None:
+                recorder.sink = flight
+            result = _execute_real_job(job, start)
+        if job.telemetry:
+            result.telemetry = telemetry_payload(recorder)
+        return result
+    return _execute_real_job(job, start)
 
 
 def _execute_real_job(job: SynthesisJob, start: float) -> JobResult:

@@ -20,15 +20,20 @@ Design constraints (why this is not ``concurrent.futures``):
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import os
+import threading
 import time
 from collections import deque
 from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs.log import jlog
 from repro.service.cache import ResultCache
+
+logger = logging.getLogger(__name__)
 from repro.service.jobs import (
     CANCELLED,
     CRASHED,
@@ -123,12 +128,25 @@ class WorkerPool:
         cache: Optional[ResultCache] = None,
         start_method: Optional[str] = None,
         poll_interval: float = 0.05,
+        flight_dir: Optional[str] = None,
     ) -> None:
         self.size = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.max_retries = max(0, max_retries)
         self.queue_size = queue_size if queue_size is not None else 2 * self.size
         self.cache = cache
         self.poll_interval = poll_interval
+        #: When set, every assignment gets a per-attempt flight-recorder
+        #: journal here (see :mod:`repro.obs.flight`); journals of cleanly
+        #: completed attempts are removed, crashed/hung ones are kept and
+        #: recovered into ``JobResult.postmortem``.
+        self.flight_dir = flight_dir
+        if flight_dir is not None:
+            os.makedirs(flight_dir, exist_ok=True)
+        #: Live per-job state for the ``/jobs`` telemetry endpoint, keyed by
+        #: job id.  Mutated by the scheduler loop (main thread), snapshotted
+        #: by the HTTP server thread — hence the lock.
+        self._live: Dict[str, Dict] = {}
+        self._live_lock = threading.Lock()
         method = start_method or os.environ.get("REPRO_SERVICE_START_METHOD")
         if method is None:
             # fork is markedly cheaper where available; jobs carry only text
@@ -147,6 +165,57 @@ class WorkerPool:
             for w in self._workers
             if w.process.pid is not None and w.process.is_alive()
         ]
+
+    # -- Live job view (the `/jobs` telemetry endpoint's provider) --------------
+
+    def jobs_snapshot(self) -> List[Dict]:
+        """Thread-safe snapshot of every tracked job's live state.
+
+        Each entry: ``job_id``, ``name``, ``solver``, ``state`` (``queued`` /
+        ``running`` / ``retrying`` / ``done``), final ``status`` when done,
+        ``attempts``, ``queue_wait``, and — while running — the assigned
+        ``worker_pid``, ``running_for`` and ``deadline_in`` seconds.
+        """
+        now = time.monotonic()
+        with self._live_lock:
+            states = [dict(state) for state in self._live.values()]
+        for state in states:
+            deadline = state.pop("_deadline", None)
+            assigned_at = state.pop("_assigned_at", None)
+            running = state.get("state") == "running"
+            state["deadline_in"] = (
+                round(deadline - now, 3) if running and deadline is not None
+                else None
+            )
+            state["running_for"] = (
+                round(now - assigned_at, 3)
+                if running and assigned_at is not None
+                else None
+            )
+        return states
+
+    def _live_update(self, job: SynthesisJob, **fields) -> None:
+        with self._live_lock:
+            state = self._live.get(job.job_id)
+            if state is None:
+                if len(self._live) > 10_000:
+                    # Long-lived pools (portfolio races) must not grow the
+                    # view without bound: drop the oldest finished entries.
+                    done = [k for k, s in self._live.items()
+                            if s.get("state") == "done"]
+                    for key in done[: len(done) // 2]:
+                        del self._live[key]
+                state = self._live[job.job_id] = {
+                    "job_id": job.job_id,
+                    "name": job.name,
+                    "solver": job.solver,
+                    "state": "queued",
+                    "status": None,
+                    "attempts": 0,
+                    "queue_wait": None,
+                    "worker_pid": None,
+                }
+            state.update(fields)
 
     # -- Public API -------------------------------------------------------------
 
@@ -212,6 +281,7 @@ class WorkerPool:
             if not job.job_id:
                 self._job_seq += 1
                 job.job_id = f"job-{self._job_seq}"
+            self._live_update(job)
 
         pending: deque = deque()
         feed = iter(enumerate(jobs))
@@ -219,6 +289,8 @@ class WorkerPool:
         completed: Dict[int, JobResult] = {}
         attempts: Dict[int, int] = {}
         failures: Dict[int, List[str]] = {}
+        #: Flight-recorder recoveries from failed attempts, by job index.
+        postmortems: Dict[int, Dict] = {}
         #: Per-index queue wait: submission (= this call) to the assignment
         #: that produced the final result (or to the cache short-circuit).
         queue_waits: Dict[int, float] = {}
@@ -230,7 +302,20 @@ class WorkerPool:
             result.attempts = attempts.get(index, result.attempts)
             result.failures = failures.get(index, []) or result.failures
             result.queue_wait = round(queue_waits.get(index, 0.0), 4)
+            if result.postmortem is None and index in postmortems:
+                result.postmortem = postmortems[index]
             completed[index] = result
+            self._live_update(
+                job, state="done", status=result.status, worker_pid=None,
+                queue_wait=result.queue_wait,
+            )
+            jlog(
+                logger, "job.completed",
+                job_id=job.job_id, problem=job.name, status=result.status,
+                wall=round(result.wall_time, 4),
+                queue_wait=result.queue_wait,
+                attempts=result.attempts, from_cache=result.from_cache,
+            )
             if self.cache is not None and not result.from_cache:
                 self.cache.put(job.fingerprint(), result)
             registry = obs.metrics()
@@ -251,6 +336,17 @@ class WorkerPool:
             if stop_on_first_solved and result.status == SOLVED:
                 cancelling = True
 
+        def recover_postmortem(index: int, job: SynthesisJob) -> None:
+            """Salvage the flight journal a failed attempt left behind."""
+            if not job.flight_journal:
+                return
+            from repro.obs.flight import read_postmortem
+
+            postmortem = read_postmortem(job.flight_journal)
+            if postmortem is not None:
+                postmortems[index] = postmortem
+                obs.metrics().counter("pool.postmortems_recovered").inc()
+
         def fail_attempt(worker: _Worker, reason: str, status: str) -> None:
             """A worker crashed/hung on its job: retire it, retry or record."""
             index, job = worker.slot  # type: ignore[misc]
@@ -258,7 +354,16 @@ class WorkerPool:
             worker.clear()
             self._retire(worker)
             failures.setdefault(index, []).append(reason)
-            if attempts[index] <= self.max_retries:
+            recover_postmortem(index, job)
+            will_retry = attempts[index] <= self.max_retries
+            jlog(
+                logger, "job.attempt_failed",
+                job_id=job.job_id, problem=job.name, reason=reason,
+                attempt=attempts[index], will_retry=will_retry,
+                postmortem=index in postmortems,
+            )
+            if will_retry:
+                self._live_update(job, state="retrying", worker_pid=None)
                 pending.appendleft((index, job))
                 return
             complete(
@@ -306,8 +411,32 @@ class WorkerPool:
                     break
                 pending.popleft()
                 attempts[index] = attempts.get(index, 0) + 1
+                if self.flight_dir is not None:
+                    job.flight_journal = os.path.join(
+                        self.flight_dir,
+                        f"{_safe_name(job.job_id)}"
+                        f"-attempt{attempts[index]}.flight.jsonl",
+                    )
                 worker.assign(index, job)
                 queue_waits[index] = worker.assigned_at - submitted_at
+                self._live_update(
+                    job, state="running", attempts=attempts[index],
+                    worker_pid=worker.process.pid,
+                    queue_wait=round(queue_waits[index], 4),
+                    _deadline=worker.deadline,
+                    _assigned_at=worker.assigned_at,
+                )
+                jlog(
+                    logger, "job.assigned",
+                    job_id=job.job_id, problem=job.name,
+                    worker_pid=worker.process.pid, attempt=attempts[index],
+                )
+            registry = obs.metrics()
+            registry.gauge("pool.workers_alive").set(len(self._workers))
+            registry.gauge("pool.jobs_queued").set(float(len(pending)))
+            registry.gauge("pool.jobs_running").set(
+                float(sum(1 for w in self._workers if w.busy))
+            )
             if cancelling or len(completed) >= len(jobs):
                 continue
 
@@ -333,15 +462,27 @@ class WorkerPool:
                     worker.clear()
                     if result.status == CRASHED:
                         # In-process failure: the worker survives, the job is
-                        # retried like any other crash.
+                        # retried like any other crash.  Its journal stays on
+                        # disk and feeds the post-mortem.
                         failures.setdefault(index, []).append(
                             f"crashed: {result.error}"
                         )
+                        recover_postmortem(index, job)
                         if attempts[index] <= self.max_retries:
+                            self._live_update(
+                                job, state="retrying", worker_pid=None
+                            )
                             pending.appendleft((index, job))
                         else:
                             complete(index, job, result)
                     else:
+                        # Clean completion: the flight journal served its
+                        # purpose and would only accumulate on disk.
+                        if job.flight_journal:
+                            try:
+                                os.unlink(job.flight_journal)
+                            except OSError:
+                                pass
                         complete(index, job, result)
                 elif not worker.process.is_alive():
                     fail_attempt(
@@ -372,6 +513,7 @@ class WorkerPool:
         if len(self._workers) < self.size:
             worker = _Worker(self._ctx)
             self._workers.append(worker)
+            jlog(logger, "pool.worker_spawned", worker_pid=worker.process.pid)
             return worker
         return None
 
@@ -395,6 +537,8 @@ class WorkerPool:
                 completed[index].queue_wait = round(
                     queue_waits.get(index, 0.0), 4
                 )
+                self._live_update(job, state="done", status=CANCELLED,
+                                  worker_pid=None)
                 if progress is not None:
                     progress(completed[index])
         leftovers = list(pending)
@@ -403,12 +547,18 @@ class WorkerPool:
         for index, job in leftovers:
             if index not in completed:
                 completed[index] = _cancelled(job)
+                self._live_update(job, state="done", status=CANCELLED)
                 if progress is not None:
                     progress(completed[index])
 
 
 def _cancelled(job: SynthesisJob) -> JobResult:
     return JobResult(job.job_id, job.name, job.solver, CANCELLED)
+
+
+def _safe_name(job_id: str) -> str:
+    """A job id reduced to filesystem-safe characters for journal names."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in job_id)
 
 
 def job_hard_timeout(worker: _Worker) -> float:

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 logger = logging.getLogger(__name__)
 
 from repro import obs
+from repro.obs.log import jlog
 from repro.lang.ast import Term
 from repro.smt.solver import SolverBudgetExceeded
 from repro.sygus.problem import Solution, SygusProblem
@@ -88,6 +89,8 @@ class CooperativeSynthesizer:
 
     def synthesize(self, problem: SygusProblem) -> SynthesisOutcome:
         """Run Algorithm 1; the whole run is a ``synth`` telemetry span."""
+        jlog(logger, "synth.start", problem=problem.name, solver=self.name,
+             timeout=self.config.timeout)
         with obs.span(
             "synth", problem=problem.name, solver=self.name
         ) as root_span:
@@ -97,6 +100,10 @@ class CooperativeSynthesizer:
             )
         if obs.enabled():
             obs.publish_stats(outcome.stats)
+        jlog(logger, "synth.end", problem=problem.name,
+             solved=outcome.solved, timed_out=outcome.timed_out,
+             smt_rounds=outcome.stats.smt_rounds,
+             heights_tried=outcome.stats.heights_tried)
         return outcome
 
     def _synthesize_impl(self, problem: SygusProblem) -> SynthesisOutcome:
@@ -307,6 +314,7 @@ class CooperativeSynthesizer:
             return
         node.solution = body
         stats.subproblems_solved += 1
+        jlog(logger, "synth.subproblem_solved", problem=node.problem.name)
         # A solved node never enumerates again: release its parked
         # incremental solver sessions (clause DBs, atom tables) right away
         # instead of holding them until the whole run finishes.

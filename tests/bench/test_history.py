@@ -1,0 +1,205 @@
+"""Benchmark regression history and gating (repro.bench.history)."""
+
+import json
+
+from repro.bench.history import (
+    HISTORY_FORMAT,
+    append_history,
+    compare,
+    load_history,
+    record_from_quick_bench,
+    result_from_artifacts,
+)
+
+
+def make_record(per_problem, solver="dryadsynth", timeout=2.0):
+    """A history record from {name: wall} (solved) / {name: None} (unsolved)."""
+    problems = {
+        name: {
+            "solved": wall is not None,
+            "wall": wall if wall is not None else 2.0,
+            "smt_rounds": 5,
+        }
+        for name, wall in per_problem.items()
+    }
+    return {
+        "format": HISTORY_FORMAT,
+        "recorded_at": "2026-08-05T00:00:00Z",
+        "solver": solver,
+        "timeout_seconds": timeout,
+        "problems": len(problems),
+        "solved": sorted(n for n, e in problems.items() if e["solved"]),
+        "wall_seconds": sum(e["wall"] for e in problems.values()),
+        "smt_rounds": 5 * len(problems),
+        "per_problem": problems,
+    }
+
+
+BASELINE = {"max2": 0.1, "sum3": 0.2, "ite4": 0.4}
+
+
+class TestRecordFromQuickBench:
+    def test_shape(self):
+        result = {
+            "records": [
+                {"benchmark": "max2", "solved": True, "wall_seconds": 0.123,
+                 "smt_rounds": 7},
+                {"benchmark": "hard", "solved": False, "wall_seconds": 2.0,
+                 "smt_rounds": 90},
+            ],
+            "summary": {
+                "solver": "dryadsynth", "timeout_seconds": 2.0,
+                "problems": 2, "solved": 1, "wall_seconds": 2.12,
+                "stats": {"smt_rounds": 97},
+            },
+        }
+        record = record_from_quick_bench(result, context={"ci": True})
+        assert record["format"] == HISTORY_FORMAT
+        assert record["solved"] == ["max2"]
+        assert record["per_problem"]["hard"]["solved"] is False
+        assert record["smt_rounds"] == 97
+        assert record["context"] == {"ci": True}
+        assert record["recorded_at"].endswith("Z")
+        json.dumps(record)  # must be JSONL-serializable as-is
+
+
+class TestHistoryStore:
+    def test_append_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        first = make_record(BASELINE)
+        second = make_record({**BASELINE, "new1": 0.3})
+        append_history(path, first)
+        append_history(path, second)
+        loaded = load_history(path)
+        assert [r["solved"] for r in loaded] == [
+            first["solved"], second["solved"],
+        ]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), make_record(BASELINE))
+        with open(path, "a") as handle:
+            handle.write('{"format": "repro-bench-history/1", "sol')
+        loaded = load_history(str(path))
+        assert len(loaded) == 1
+
+    def test_foreign_records_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"format": "something-else/9"}\n')
+        assert load_history(str(path)) == []
+
+
+class TestCompare:
+    def test_no_history_passes_with_note(self):
+        comparison = compare(make_record(BASELINE), [])
+        assert comparison.ok
+        assert comparison.baseline_runs == 0
+        assert any("no comparable history" in n for n in comparison.notes)
+
+    def test_identical_run_passes(self):
+        history = [make_record(BASELINE)]
+        comparison = compare(make_record(BASELINE), history)
+        assert comparison.ok
+        assert comparison.missing == []
+        assert comparison.wall_growth == 0.0
+
+    def test_solved_set_shrink_is_a_regression(self):
+        history = [make_record(BASELINE), make_record(BASELINE)]
+        current = make_record({**BASELINE, "sum3": None})
+        comparison = compare(current, history)
+        assert not comparison.ok
+        assert comparison.missing == ["sum3"]
+        assert "solved-set shrink" in comparison.regressions[0]
+        assert "sum3" in comparison.render()
+
+    def test_flaky_baseline_solve_does_not_gate(self):
+        # "ite4" solved in only one of the trailing runs: it is not part of
+        # the intersection baseline, so missing it now is not a regression.
+        history = [
+            make_record(BASELINE),
+            make_record({**BASELINE, "ite4": None}),
+        ]
+        comparison = compare(make_record({**BASELINE, "ite4": None}), history)
+        assert comparison.ok
+
+    def test_wall_growth_beyond_budget_is_a_regression(self):
+        history = [make_record(BASELINE)]
+        slower = make_record({k: v * 1.5 for k, v in BASELINE.items()})
+        comparison = compare(slower, history)
+        assert not comparison.ok
+        assert comparison.wall_growth is not None
+        assert comparison.wall_growth > 0.15
+        assert "median wall growth" in comparison.regressions[0]
+
+    def test_wall_growth_within_budget_passes(self):
+        history = [make_record(BASELINE)]
+        slightly = make_record({k: v * 1.1 for k, v in BASELINE.items()})
+        comparison = compare(slightly, history)
+        assert comparison.ok
+        assert 0.05 < comparison.wall_growth < 0.15
+
+    def test_noise_floor_skips_the_wall_gate(self):
+        tiny = {"max2": 0.001, "sum3": 0.002, "ite4": 0.003}
+        history = [make_record(tiny)]
+        doubled = make_record({k: v * 2 for k, v in tiny.items()})
+        comparison = compare(doubled, history)
+        assert comparison.ok
+        assert any("noise floor" in n for n in comparison.notes)
+
+    def test_different_solver_or_budget_excluded(self):
+        history = [
+            make_record(BASELINE, solver="eusolver"),
+            make_record(BASELINE, timeout=10.0),
+        ]
+        comparison = compare(make_record(BASELINE), history)
+        assert comparison.ok
+        assert comparison.baseline_runs == 0
+        assert any("excluded" in n for n in comparison.notes)
+
+    def test_window_limits_the_baseline(self):
+        old = make_record({**BASELINE, "legacy": 0.1})
+        recent = [make_record(BASELINE) for _ in range(5)]
+        comparison = compare(make_record(BASELINE), [old] + recent, window=5)
+        # "legacy" was solved only in the record outside the window.
+        assert comparison.ok
+        assert comparison.baseline_runs == 5
+
+    def test_new_solves_reported_not_gated(self):
+        history = [make_record(BASELINE)]
+        better = make_record({**BASELINE, "new1": 0.2})
+        comparison = compare(better, history)
+        assert comparison.ok
+        assert comparison.new_solves == ["new1"]
+        assert "newly solved" in comparison.render()
+
+    def test_median_is_per_problem_not_total(self):
+        # One problem 3x slower but the median pair unchanged: no regression
+        # (total wall would have tripped a naive gate).
+        history = [make_record({"a": 0.1, "b": 0.1, "c": 0.1, "d": 10.0})]
+        current = make_record({"a": 0.1, "b": 0.1, "c": 0.1, "d": 30.0})
+        comparison = compare(current, history)
+        assert comparison.ok
+
+
+class TestArtifacts:
+    def test_result_from_artifacts_round_trip(self, tmp_path):
+        records = [
+            {"benchmark": "max2", "solved": True, "wall_seconds": 0.1,
+             "smt_rounds": 3},
+        ]
+        summary = {
+            "solver": "dryadsynth", "timeout_seconds": 2.0, "problems": 1,
+            "solved": 1, "wall_seconds": 0.1, "stats": {"smt_rounds": 3},
+        }
+        with open(tmp_path / "quick_bench.jsonl", "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        with open(tmp_path / "quick_bench_summary.json", "w") as handle:
+            json.dump(summary, handle)
+        result = result_from_artifacts(str(tmp_path))
+        record = record_from_quick_bench(result)
+        assert record["solved"] == ["max2"]
+        assert record["per_problem"]["max2"]["wall"] == 0.1

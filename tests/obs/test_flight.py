@@ -1,0 +1,153 @@
+"""Flight recorder journals and post-mortem recovery (repro.obs.flight)."""
+
+import json
+
+from repro import obs
+from repro.obs.flight import (
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    read_flight_journal,
+    read_postmortem,
+    render_postmortem,
+)
+
+
+def journal_lines(path):
+    return [line for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestFlightRecorder:
+    def test_header_and_notes_flushed_immediately(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path), meta={"job_id": "job-1"})
+        flight.note("job.start", timeout=5.0)
+        # No close(): the journal must already be on disk, as after SIGKILL.
+        lines = journal_lines(path)
+        assert len(lines) == 2
+        header = json.loads(lines[0])
+        assert header["format"] == FLIGHT_FORMAT
+        assert header["meta"] == {"job_id": "job-1"}
+        note = json.loads(lines[1])["note"]
+        assert note["name"] == "job.start"
+        assert note["attrs"] == {"timeout": 5.0}
+        flight.close()
+
+    def test_mirrors_ambient_recorder_via_sink(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path))
+        with obs.recording() as recorder:
+            recorder.sink = flight
+            with obs.span("solve", problem="max2"):
+                obs.event("cegis.counterexample", round=1)
+        flight.close()
+        journal = read_flight_journal(str(path))
+        assert [s["name"] for s in journal["spans"]] == ["solve"]
+        assert journal["spans"][0]["attrs"]["problem"] == "max2"
+        assert [e["name"] for e in journal["events"]] == [
+            "cegis.counterexample"
+        ]
+
+    def test_rotation_bounds_the_journal(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path), capacity=10)
+        for i in range(100):
+            flight.note("tick", i=i)
+        flight.close()
+        lines = journal_lines(path)
+        # Bounded: never more than header + 2*capacity + rotation slack.
+        assert len(lines) <= 1 + 2 * 10 + 1
+        journal = read_flight_journal(str(path))
+        assert journal["header"]["format"] == FLIGHT_FORMAT  # survives rotate
+        ticks = [n["attrs"]["i"] for n in journal["notes"]]
+        assert ticks == sorted(ticks)
+        assert ticks[-1] == 99  # most recent records survive
+
+    def test_failing_journal_never_raises(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path))
+        flight._handle.close()  # simulate the fd going bad mid-job
+        flight.note("job.end", status="solved")  # must not raise
+        assert flight._closed
+
+
+class TestReadFlightJournal:
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path))
+        flight.note("job.start")
+        flight.note("job.progress", step=2)
+        flight.close()
+        torn = path.read_text()[:-9]  # SIGKILL mid-write of the last record
+        path.write_text(torn)
+        journal = read_flight_journal(str(path))
+        assert journal["truncated"]
+        assert journal["corrupt"] == 0
+        assert [n["name"] for n in journal["notes"]] == ["job.start"]
+
+    def test_corrupt_interior_counted_not_raised(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path))
+        flight.note("job.start")
+        flight.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"note": {"name": "half')
+        path.write_text("\n".join(lines) + "\n")
+        journal = read_flight_journal(str(path))
+        assert journal["corrupt"] == 1
+        assert not journal["truncated"]
+        assert [n["name"] for n in journal["notes"]] == ["job.start"]
+
+
+class TestReadPostmortem:
+    def test_missing_and_empty_files_yield_none(self, tmp_path):
+        assert read_postmortem(str(tmp_path / "absent.jsonl")) is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert read_postmortem(str(empty)) is None
+
+    def test_payload_shape(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path), meta={"job_id": "job-3",
+                                                 "name": "max2"})
+        flight.note("job.start", timeout=2.0)
+        with obs.recording() as recorder:
+            recorder.sink = flight
+            with obs.span("enum", height=3):
+                pass
+            obs.event("smt.sat")
+        # No job.end note and no close: the worker died here.
+        postmortem = read_postmortem(str(path))
+        assert postmortem["meta"]["job_id"] == "job-3"
+        assert postmortem["pid"]
+        assert [n["name"] for n in postmortem["notes"]] == ["job.start"]
+        assert postmortem["num_spans"] == 1
+        assert postmortem["num_events"] == 1
+        kind, payload = next(iter(postmortem["last"].items()))
+        assert kind == "event" and payload["name"] == "smt.sat"
+
+    def test_tail_bounds_the_payload(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path), capacity=500)
+        with obs.recording() as recorder:
+            recorder.sink = flight
+            for i in range(40):
+                obs.event("tick", i=i)
+        postmortem = read_postmortem(str(path), tail=5)
+        assert postmortem["num_events"] == 40
+        assert [e["attrs"]["i"] for e in postmortem["events"]] == [
+            35, 36, 37, 38, 39,
+        ]
+
+    def test_render_contains_the_story(self, tmp_path):
+        path = tmp_path / "job.flight.jsonl"
+        flight = FlightRecorder(str(path), meta={"job_id": "job-9"})
+        flight.note("job.start", timeout=1.0)
+        with obs.recording() as recorder:
+            recorder.sink = flight
+            with obs.span("deduct", problem="sum3"):
+                pass
+        report = render_postmortem(read_postmortem(str(path)))
+        assert "post-mortem: job-9" in report
+        assert "job.start" in report
+        assert "deduct" in report
+        assert "last activity" in report

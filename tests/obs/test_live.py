@@ -1,0 +1,105 @@
+"""Live telemetry HTTP endpoint (repro.obs.live)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import PROMETHEUS_CONTENT_TYPE, TelemetryServer
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestTelemetryServer:
+    def test_ephemeral_port_resolved(self):
+        with TelemetryServer(port=0) as server:
+            assert server.port != 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_endpoint(self):
+        text = "# TYPE repro_x counter\nrepro_x_total 3\n"
+        with TelemetryServer(metrics_fn=lambda: text) as server:
+            status, headers, body = get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert body == text
+
+    def test_metrics_render_retried_on_runtime_error(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise RuntimeError("dictionary changed size during iteration")
+            return "repro_ok 1\n"
+
+        with TelemetryServer(metrics_fn=flaky) as server:
+            status, _, body = get(server, "/metrics")
+        assert status == 200
+        assert body == "repro_ok 1\n"
+        assert len(calls) == 2
+
+    def test_healthz_with_extra(self):
+        with TelemetryServer(
+            health_extra=lambda: {"workers_alive": 4}
+        ) as server:
+            status, _, body = get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["workers_alive"] == 4
+        assert payload["uptime_seconds"] >= 0
+        assert payload["pid"]
+
+    def test_healthz_degrades_instead_of_500(self):
+        def broken():
+            raise OSError("pool is gone")
+
+        with TelemetryServer(health_extra=broken) as server:
+            status, _, body = get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "degraded"
+        assert "pool is gone" in payload["error"]
+
+    def test_jobs_endpoint_counts_states(self):
+        jobs = [
+            {"job_id": "job-1", "state": "running"},
+            {"job_id": "job-2", "state": "running"},
+            {"job_id": "job-3", "state": "done"},
+        ]
+        with TelemetryServer(jobs_fn=lambda: jobs) as server:
+            _, _, body = get(server, "/jobs")
+        payload = json.loads(body)
+        assert payload["total"] == 3
+        assert payload["counts"] == {"running": 2, "done": 1}
+        assert payload["jobs"][0]["job_id"] == "job-1"
+
+    def test_endpoints_without_providers_still_serve(self):
+        with TelemetryServer() as server:
+            assert get(server, "/metrics")[2] == ""
+            assert json.loads(get(server, "/jobs")[2])["total"] == 0
+
+    def test_unknown_path_is_404_with_directory(self):
+        with TelemetryServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server, "/nope")
+            assert excinfo.value.code == 404
+            payload = json.loads(excinfo.value.read().decode())
+        assert payload["endpoints"] == ["/metrics", "/healthz", "/jobs"]
+
+    def test_provider_error_is_500_and_server_survives(self):
+        def broken():
+            raise ValueError("bad provider")
+
+        with TelemetryServer(jobs_fn=broken) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server, "/jobs")
+            assert excinfo.value.code == 500
+            # The server thread must survive the failed request.
+            status, _, _ = get(server, "/healthz")
+            assert status == 200

@@ -1,0 +1,135 @@
+"""Structured JSON logging (repro.obs.log)."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    JsonLineFormatter,
+    configure_json_logging,
+    current_context,
+    ensure_worker_logging,
+    jlog,
+    log_context,
+    remove_json_logging,
+)
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = tmp_path / "log.jsonl"
+    handler = configure_json_logging(str(path))
+    yield path
+    remove_json_logging(handler)
+
+
+def read_lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestJlog:
+    def test_emits_one_json_line_with_fields(self, log_file):
+        logger = logging.getLogger("repro.test_log")
+        jlog(logger, "unit.event", answer=42, name="max2")
+        records = read_lines(log_file)
+        assert len(records) == 1
+        record = records[0]
+        assert record["event"] == "unit.event"
+        assert record["answer"] == 42
+        assert record["name"] == "max2"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test_log"
+        assert isinstance(record["pid"], int)
+        assert isinstance(record["ts"], float)
+
+    def test_disabled_level_emits_nothing(self, log_file):
+        logger = logging.getLogger("repro.test_log")
+        jlog(logger, "unit.debug_event", level=logging.DEBUG)
+        assert log_file.read_text() == ""
+
+    def test_non_serializable_fields_fall_back_to_str(self, log_file):
+        logger = logging.getLogger("repro.test_log")
+        jlog(logger, "unit.event", obj=object())
+        (record,) = read_lines(log_file)
+        assert "object object" in record["obj"]
+
+
+class TestLogContext:
+    def test_context_fields_stamped_on_records(self, log_file):
+        logger = logging.getLogger("repro.test_log")
+        with log_context(job_id="job-7", problem="max2"):
+            jlog(logger, "unit.inner")
+        jlog(logger, "unit.outer")
+        inner, outer = read_lines(log_file)
+        assert inner["job_id"] == "job-7"
+        assert inner["problem"] == "max2"
+        assert "job_id" not in outer
+
+    def test_nested_contexts_merge_inner_wins(self):
+        with log_context(a=1, b=1):
+            with log_context(b=2, c=3):
+                assert current_context() == {"a": 1, "b": 2, "c": 3}
+            assert current_context() == {"a": 1, "b": 1}
+        assert current_context() == {}
+
+    def test_none_values_dropped(self):
+        with log_context(job_id=None, problem="p"):
+            assert current_context() == {"problem": "p"}
+
+    def test_event_fields_override_context(self, log_file):
+        logger = logging.getLogger("repro.test_log")
+        with log_context(problem="ambient"):
+            jlog(logger, "unit.event", problem="explicit")
+        (record,) = read_lines(log_file)
+        assert record["problem"] == "explicit"
+
+
+class TestConfigure:
+    def test_stderr_target(self, capsys):
+        handler = configure_json_logging("-")
+        try:
+            jlog(logging.getLogger("repro.test_log"), "unit.stderr_event")
+        finally:
+            remove_json_logging(handler)
+        err = capsys.readouterr().err
+        assert json.loads(err.strip())["event"] == "unit.stderr_event"
+
+    def test_ensure_worker_logging_idempotent(self, tmp_path):
+        path = tmp_path / "worker.jsonl"
+        ensure_worker_logging(str(path))
+        ensure_worker_logging(str(path))  # second attach must be a no-op
+        logger = logging.getLogger("repro.test_log")
+        jlog(logger, "unit.worker_event")
+        records = read_lines(path)
+        assert len(records) == 1
+        from repro.obs.log import _configured
+
+        remove_json_logging(_configured[str(path)])
+
+    def test_ensure_worker_logging_ignores_dash_and_empty(self):
+        from repro.obs.log import _configured
+
+        before = dict(_configured)
+        ensure_worker_logging("-")
+        ensure_worker_logging(None)
+        ensure_worker_logging("")
+        assert _configured == before
+
+    def test_exception_info_captured(self, log_file):
+        logger = logging.getLogger("repro.test_log")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.exception("unit.crashed")
+        (record,) = read_lines(log_file)
+        assert record["level"] == "error"
+        assert "ValueError: boom" in record["exc"]
+
+    def test_formatter_without_repro_fields(self):
+        # Plain stdlib records (no `extra`) must still format.
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "plain %s", ("msg",), None
+        )
+        payload = json.loads(JsonLineFormatter().format(record))
+        assert payload["event"] == "plain msg"

@@ -1,0 +1,162 @@
+"""Prometheus text exposition-format conformance for the metrics dump.
+
+Validates ``MetricsRegistry.to_prometheus`` against the text-format grammar
+(version 0.0.4): per-family ``# HELP``/``# TYPE`` comment lines, legal metric
+and label names, float-parsable sample values, counters suffixed ``_total``,
+and complete histogram families (cumulative buckets ending in ``le="+Inf"``
+plus ``_sum`` and ``_count`` whose values agree).
+"""
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises (failing the test) on garbage
+
+
+class Exposition:
+    """A parsed-and-validated exposition payload."""
+
+    def __init__(self, text: str):
+        self.help: dict = {}
+        self.types: dict = {}
+        self.samples: list = []  # (name, labels-dict, value)
+        assert text == "" or text.endswith("\n"), "payload must end in newline"
+        for line in text.splitlines():
+            assert line == line.strip(), f"stray whitespace: {line!r}"
+            if line.startswith("# HELP "):
+                _, _, rest = line.partition("# HELP ")
+                name, _, help_text = rest.partition(" ")
+                assert METRIC_NAME.match(name), name
+                assert name not in self.help, f"duplicate HELP for {name}"
+                assert help_text, f"empty HELP for {name}"
+                self.help[name] = help_text
+            elif line.startswith("# TYPE "):
+                _, _, rest = line.partition("# TYPE ")
+                name, _, kind = rest.partition(" ")
+                assert METRIC_NAME.match(name), name
+                assert kind in TYPES, kind
+                assert name not in self.types, f"duplicate TYPE for {name}"
+                assert not [
+                    s for s in self.samples if _family(s[0]) == name
+                ], f"TYPE for {name} must precede its samples"
+                self.types[name] = kind
+            else:
+                match = SAMPLE.match(line)
+                assert match, f"unparsable sample line: {line!r}"
+                labels = {}
+                if match.group("labels"):
+                    for pair in match.group("labels").split(","):
+                        assert LABEL.match(pair), f"bad label: {pair!r}"
+                        key, _, value = pair.partition("=")
+                        labels[key] = value[1:-1]
+                self.samples.append(
+                    (match.group("name"), labels,
+                     _parse_value(match.group("value")))
+                )
+
+
+def _family(sample_name: str) -> str:
+    """The family a histogram child series belongs to."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("smt.rounds").inc(9)
+    registry.counter("pool.status.solved").inc(2)  # dots sanitised
+    registry.gauge("sat.vars").set(42.5)
+    hist = registry.histogram("smt.solve_seconds", bounds=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(30.0)
+    return registry
+
+
+class TestConformance:
+    def test_every_family_has_help_and_type(self):
+        exposition = Exposition(_populated().to_prometheus())
+        families = {_family(name) for name, _, _ in exposition.samples}
+        for family in families:
+            # Counters are exposed as <family>; HELP/TYPE name the series.
+            assert family in exposition.types, f"no TYPE for {family}"
+            assert family in exposition.help, f"no HELP for {family}"
+
+    def test_counter_names_end_in_total(self):
+        exposition = Exposition(_populated().to_prometheus())
+        for name, kind in exposition.types.items():
+            if kind == "counter":
+                assert name.endswith("_total"), name
+
+    def test_histogram_family_is_complete_and_cumulative(self):
+        exposition = Exposition(_populated().to_prometheus())
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in exposition.samples
+            if name == "repro_smt_solve_seconds_bucket"
+        ]
+        assert buckets, "histogram emitted no buckets"
+        assert buckets[-1][0] == "+Inf", "last bucket must be le=+Inf"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        bounds = [_parse_value(le) for le, _ in buckets]
+        assert bounds == sorted(bounds), "le values must ascend"
+        count = next(
+            v for n, _, v in exposition.samples
+            if n == "repro_smt_solve_seconds_count"
+        )
+        total = next(
+            v for n, _, v in exposition.samples
+            if n == "repro_smt_solve_seconds_sum"
+        )
+        assert counts[-1] == count == 3
+        assert abs(total - 30.55) < 1e-9
+
+    def test_sample_values_parse_as_floats(self):
+        exposition = Exposition(_populated().to_prometheus())
+        assert all(
+            isinstance(value, float) or isinstance(value, int)
+            for _, _, value in exposition.samples
+        )
+
+    def test_unknown_metric_gets_generated_help(self):
+        registry = MetricsRegistry()
+        registry.counter("made.up.metric").inc()
+        exposition = Exposition(registry.to_prometheus())
+        assert "repro_made_up_metric_total" in exposition.help
+
+    def test_help_text_escapes_newlines_and_backslashes(self):
+        from repro.obs.metrics import register_metric_help
+
+        registry = MetricsRegistry()
+        registry.counter("weird").inc()
+        register_metric_help("weird", "line one\nline two \\ slash")
+        try:
+            text = registry.to_prometheus()
+        finally:
+            from repro.obs.metrics import METRIC_HELP
+
+            METRIC_HELP.pop("weird", None)
+        exposition = Exposition(text)  # still one line per record
+        assert exposition.help["repro_weird_total"] == (
+            "line one\\nline two \\\\ slash"
+        )

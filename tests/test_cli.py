@@ -205,3 +205,253 @@ class TestBatch:
         code = main(["batch", "/nonexistent/suite"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestLogJson:
+    def test_single_run_writes_structured_log(self, max2_file, tmp_path,
+                                              capsys):
+        import json
+
+        log = tmp_path / "run.log.jsonl"
+        assert main([max2_file, "--timeout", "30",
+                     "--log-json", str(log)]) == 0
+        capsys.readouterr()
+        records = [json.loads(l) for l in log.read_text().splitlines()]
+        events = [r["event"] for r in records]
+        assert "synth.start" in events
+        assert "synth.end" in events
+        start = records[events.index("synth.start")]
+        assert start["problem"] == "max2.sl"
+        assert start["solver"] == "dryadsynth"
+
+    def test_batch_log_correlates_parent_and_worker(self, tmp_path, capsys):
+        import json
+
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "max2.sl").write_text(MAX2_SL)
+        log = tmp_path / "batch.log.jsonl"
+        code = main(["batch", str(suite), "--no-cache", "--timeout", "30",
+                     "--log-json", str(log),
+                     "--out", str(tmp_path / "results.jsonl")])
+        capsys.readouterr()
+        assert code == 0
+        records = [json.loads(l) for l in log.read_text().splitlines()]
+        by_event = {r["event"]: r for r in records}
+        # Parent-side scheduler events and worker-side job events land in
+        # the same file, correlated by job_id.
+        assert by_event["job.assigned"]["job_id"] == "job-1"
+        assert by_event["job.start"]["job_id"] == "job-1"
+        assert by_event["job.end"]["status"] == "solved"
+        assert by_event["job.completed"]["problem"] == "max2"
+        assert by_event["job.start"]["pid"] != by_event["job.assigned"]["pid"]
+
+
+class TestBatchServeTelemetry:
+    def test_endpoints_scrape_mid_run(self, tmp_path, capsys):
+        import json
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        for i in range(3):
+            (suite / f"p{i}.sl").write_text(MAX2_SL)
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        out = tmp_path / "results.jsonl"
+        exit_code = {}
+
+        def run():
+            exit_code["value"] = main([
+                "batch", str(suite), "--no-cache",
+                "--solver", "debug-sleep@1.0", "--jobs", "1",
+                "--timeout", "10", "--serve-telemetry", str(port),
+                "--out", str(out),
+            ])
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+
+        def fetch(path):
+            with urllib.request.urlopen(base + path, timeout=2.0) as resp:
+                return resp.status, resp.read().decode()
+
+        try:
+            health = None
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    health = fetch("/healthz")
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            assert health is not None and health[0] == 200
+            assert json.loads(health[1])["status"] == "ok"
+
+            status, jobs_body = fetch("/jobs")
+            payload = json.loads(jobs_body)
+            assert status == 200
+            assert payload["total"] == 3
+            # Scraped mid-run: the batch (3 x 1s on one worker) is not done.
+            assert any(
+                j["state"] in ("queued", "running", "retrying")
+                for j in payload["jobs"]
+            )
+
+            status, metrics = fetch("/metrics")
+            assert status == 200
+            assert "# TYPE repro_pool_workers_alive gauge" in metrics
+            assert "repro_pool_jobs_running" in metrics
+        finally:
+            thread.join(timeout=30)
+        assert exit_code["value"] == 0
+        # The server dies with the batch.
+        with pytest.raises(OSError):
+            fetch("/healthz")
+        records = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(records) == 3
+
+
+class TestPostmortemCli:
+    def _crash_batch(self, tmp_path, capsys):
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "max2.sl").write_text(MAX2_SL)
+        flights = tmp_path / "flights"
+        code = main(["batch", str(suite), "--no-cache",
+                     "--solver", "debug-exit@13", "--retries", "0",
+                     "--timeout", "5", "--flight-dir", str(flights),
+                     "--out", str(tmp_path / "results.jsonl")])
+        capsys.readouterr()
+        assert code == 1
+        journals = sorted(flights.glob("*.flight.jsonl"))
+        assert len(journals) == 1
+        return journals[0]
+
+    def test_renders_report_from_crashed_batch(self, tmp_path, capsys):
+        journal = self._crash_batch(tmp_path, capsys)
+        assert main(["postmortem", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "post-mortem:" in out
+        assert "job.start" in out
+        assert "debug-exit@13" in out
+
+    def test_json_flag_emits_payload(self, tmp_path, capsys):
+        import json
+
+        journal = self._crash_batch(tmp_path, capsys)
+        assert main(["postmortem", "--json", str(journal)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["name"] == "max2"
+        assert payload["notes"]
+
+    def test_missing_journal_errors(self, tmp_path, capsys):
+        code = main(["postmortem", str(tmp_path / "absent.flight.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchCompareCli:
+    def _write_artifacts(self, directory, walls):
+        """Fake quick-bench artifacts: {name: wall or None (=unsolved)}."""
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        records = []
+        for name, wall in walls.items():
+            solved = wall is not None
+            records.append({
+                "benchmark": name, "solver": "dryadsynth", "solved": solved,
+                "wall_seconds": wall if solved else 2.0, "smt_rounds": 4,
+            })
+        with open(directory / "quick_bench.jsonl", "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        summary = {
+            "solver": "dryadsynth", "timeout_seconds": 2.0,
+            "problems": len(records),
+            "solved": sum(1 for r in records if r["solved"]),
+            "wall_seconds": sum(r["wall_seconds"] for r in records),
+            "stats": {"smt_rounds": 4 * len(records)},
+        }
+        with open(directory / "quick_bench_summary.json", "w") as handle:
+            json.dump(summary, handle)
+        return directory
+
+    def test_pass_append_then_seeded_regression_fails(self, tmp_path,
+                                                      capsys):
+        history = tmp_path / "history.jsonl"
+        good = self._write_artifacts(
+            tmp_path / "good", {"max2": 0.1, "sum3": 0.2}
+        )
+        assert main(["bench-compare", "--from-dir", str(good),
+                     "--against", str(history), "--append"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert history.exists()
+        # Seeded synthetic regression: sum3 no longer solves.
+        bad = self._write_artifacts(
+            tmp_path / "bad", {"max2": 0.1, "sum3": None}
+        )
+        assert main(["bench-compare", "--from-dir", str(bad),
+                     "--against", str(history)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "sum3" in out
+
+    def test_wall_regression_detected(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        fast = self._write_artifacts(
+            tmp_path / "fast", {"max2": 0.1, "sum3": 0.2}
+        )
+        assert main(["bench-compare", "--from-dir", str(fast),
+                     "--against", str(history), "--append"]) == 0
+        slow = self._write_artifacts(
+            tmp_path / "slow", {"max2": 0.2, "sum3": 0.4}
+        )
+        capsys.readouterr()
+        assert main(["bench-compare", "--from-dir", str(slow),
+                     "--against", str(history)]) == 1
+        assert "median wall growth" in capsys.readouterr().out
+        # A looser budget lets the same run through.
+        assert main(["bench-compare", "--from-dir", str(slow),
+                     "--against", str(history),
+                     "--max-wall-growth", "1.5"]) == 0
+
+    def test_record_out_artifact(self, tmp_path, capsys):
+        import json
+
+        good = self._write_artifacts(tmp_path / "good", {"max2": 0.1})
+        record_path = tmp_path / "record.json"
+        assert main(["bench-compare", "--from-dir", str(good),
+                     "--against", str(tmp_path / "history.jsonl"),
+                     "--record-out", str(record_path)]) == 0
+        record = json.loads(record_path.read_text())
+        assert record["format"] == "repro-bench-history/1"
+        assert record["solved"] == ["max2"]
+
+    def test_failed_run_is_not_appended(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        good = self._write_artifacts(
+            tmp_path / "good", {"max2": 0.1, "sum3": 0.2}
+        )
+        assert main(["bench-compare", "--from-dir", str(good),
+                     "--against", str(history), "--append"]) == 0
+        size = history.stat().st_size
+        bad = self._write_artifacts(tmp_path / "bad", {"max2": 0.1,
+                                                       "sum3": None})
+        assert main(["bench-compare", "--from-dir", str(bad),
+                     "--against", str(history), "--append"]) == 1
+        assert history.stat().st_size == size  # regression not recorded
+
+    def test_missing_artifacts_error(self, tmp_path, capsys):
+        code = main(["bench-compare", "--from-dir", str(tmp_path / "nope"),
+                     "--against", str(tmp_path / "history.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
