@@ -49,23 +49,31 @@ def run_quick_bench(
     solver_name: str = "dryadsynth",
     timeout: float = 2.0,
     telemetry: bool = False,
+    smt_corpus: str = None,
 ) -> Dict:
     """Run the demo subset; returns ``{"records": [...], "summary": {...}}``.
 
     With ``telemetry`` the pass runs under an ambient span recorder, which
     is returned as ``"recorder"`` so callers can export spans/metrics.
+    With ``smt_corpus`` every SMT query is captured into one
+    ``<benchmark>.smtq.jsonl`` per problem in that directory (replay with
+    ``dryadsynth smt-replay``).
     """
     if telemetry:
         from repro import obs
 
         with obs.recording() as recorder:
-            result = _run_quick_bench_impl(solver_name, timeout)
+            result = _run_quick_bench_impl(solver_name, timeout, smt_corpus)
         result["recorder"] = recorder
         return result
-    return _run_quick_bench_impl(solver_name, timeout)
+    return _run_quick_bench_impl(solver_name, timeout, smt_corpus)
 
 
-def _run_quick_bench_impl(solver_name: str, timeout: float) -> Dict:
+def _run_quick_bench_impl(
+    solver_name: str, timeout: float, smt_corpus: str = None
+) -> Dict:
+    import contextlib
+
     records: List[Dict] = []
     totals = SynthesisStats()
     solved = 0
@@ -73,9 +81,16 @@ def _run_quick_bench_impl(solver_name: str, timeout: float) -> Dict:
     for benchmark in demo_subset():
         problem = benchmark.problem()
         solver = make_solver(solver_name, timeout)
+        if smt_corpus:
+            from repro.smt.capture import capturing
+
+            capture_ctx = capturing(smt_corpus, benchmark.name)
+        else:
+            capture_ctx = contextlib.nullcontext()
         bench_start = time.monotonic()
         try:
-            outcome = solver.synthesize(problem)
+            with capture_ctx:
+                outcome = solver.synthesize(problem)
         except Exception:
             outcome = SynthesisOutcome(None, SynthesisStats(), timed_out=True)
         wall = time.monotonic() - bench_start
@@ -131,6 +146,21 @@ def main(argv=None) -> int:
         help="write the run's merged metrics as Prometheus text to PATH",
     )
     parser.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's span stream as JSONL to PATH (implies "
+        "--telemetry; render with `dryadsynth profile` or "
+        "`dryadsynth explain`)",
+    )
+    parser.add_argument(
+        "--smt-corpus",
+        metavar="DIR",
+        default=None,
+        help="capture every SMT query into one <benchmark>.smtq.jsonl per "
+        "problem in DIR (replay with `dryadsynth smt-replay DIR`)",
+    )
+    parser.add_argument(
         "--min-solved",
         type=int,
         default=None,
@@ -157,8 +187,13 @@ def main(argv=None) -> int:
 
 
 def _main_impl(args) -> int:
-    telemetry = bool(args.telemetry or args.metrics_out)
-    result = run_quick_bench(args.solver, args.timeout, telemetry=telemetry)
+    telemetry = bool(args.telemetry or args.metrics_out or args.spans_out)
+    result = run_quick_bench(
+        args.solver,
+        args.timeout,
+        telemetry=telemetry,
+        smt_corpus=args.smt_corpus,
+    )
     os.makedirs(args.out, exist_ok=True)
     jsonl_path = os.path.join(args.out, "quick_bench.jsonl")
     with open(jsonl_path, "w") as handle:
@@ -183,6 +218,13 @@ def _main_impl(args) -> int:
 
         write_metrics_text(result["recorder"].metrics, args.metrics_out)
         print(f"wrote {args.metrics_out}")
+    if args.spans_out:
+        from repro.obs.export import write_spans_jsonl
+
+        write_spans_jsonl(result["recorder"], args.spans_out)
+        print(f"wrote {args.spans_out}")
+    if args.smt_corpus:
+        print(f"wrote SMT query corpus into {args.smt_corpus}/")
     if args.min_solved is not None and summary["solved"] < args.min_solved:
         print(
             f"quick-bench gate FAILED: solved {summary['solved']} < "

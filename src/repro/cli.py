@@ -17,6 +17,15 @@ worker was doing from its flight-recorder journal (``batch --flight-dir``).
 
 ``dryadsynth bench-compare`` gates a quick-bench run against the committed
 ``BENCH_history.jsonl`` regression history (see :mod:`repro.bench.history`).
+
+``dryadsynth explain`` renders the search forensics of a run — the
+subproblem tree with per-node wall/SMT attribution, the deduction
+rule-firing table, and (for unsolved runs) the failure frontier — from a
+``--spans-out`` dump or by running a problem directly (:mod:`repro.obs.explain`).
+
+``dryadsynth smt-replay`` re-executes a captured SMT query corpus
+(``--smt-corpus``) on a fresh solver and reports status/model divergences
+and timing percentiles (:mod:`repro.smt.capture`).
 """
 
 from __future__ import annotations
@@ -72,6 +81,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the event trace as JSON to PATH "
         "(dryadsynth solvers only)",
     )
+    parser.add_argument(
+        "--smt-corpus",
+        metavar="DIR",
+        default=None,
+        help="capture every SMT query issued during the run into a replayable "
+        "corpus in DIR (replay with `dryadsynth smt-replay DIR`)",
+    )
     _add_telemetry_out_args(parser)
     return parser
 
@@ -96,6 +112,13 @@ def _add_telemetry_out_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="emit structured JSON log lines (repro-log/1) to PATH, "
         "or to stderr with '-'",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH",
+        default=None,
+        help="export the recorded span stream as a Chrome/Perfetto "
+        "trace_event file (open in chrome://tracing or ui.perfetto.dev)",
     )
 
 
@@ -134,6 +157,40 @@ def _write_telemetry(recorder, args) -> None:
             write_metrics_text(recorder.metrics, args.metrics_out)
         except OSError as exc:
             print(f"warning: cannot write metrics: {exc}", file=sys.stderr)
+    if getattr(args, "trace_chrome", None):
+        from repro.obs.chrome import write_recorder_trace
+
+        try:
+            write_recorder_trace(recorder, args.trace_chrome)
+        except OSError as exc:
+            print(f"warning: cannot write trace: {exc}", file=sys.stderr)
+    if recorder.truncated:
+        print(
+            "warning: span stream truncated by the recorder cap; "
+            "telemetry outputs are partial",
+            file=sys.stderr,
+        )
+
+
+def _wants_recording(args) -> bool:
+    return bool(
+        args.spans_out
+        or args.metrics_out
+        or getattr(args, "trace_chrome", None)
+    )
+
+
+@contextlib.contextmanager
+def _smt_capturing(args, problem_name: str):
+    """Attach the ``--smt-corpus`` query capture for the run's duration."""
+    directory = getattr(args, "smt_corpus", None)
+    if not directory:
+        yield None
+        return
+    from repro.smt.capture import capturing
+
+    with capturing(directory, problem_name) as capture:
+        yield capture
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -147,6 +204,10 @@ def main(argv: Optional[list] = None) -> int:
         return _postmortem_main(argv[1:])
     if argv and argv[0] == "bench-compare":
         return _bench_compare_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
+    if argv and argv[0] == "smt-replay":
+        return _smt_replay_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     with _json_logging(args):
         return _single_main(args)
@@ -169,15 +230,19 @@ def _single_main(args) -> int:
 
         trace = SynthesisTrace()
         solver.trace = trace
-    start = time.monotonic()
-    if args.spans_out or args.metrics_out:
-        from repro import obs
+    import os
 
-        with obs.recording() as recorder:
+    problem_name = os.path.splitext(os.path.basename(args.file))[0]
+    start = time.monotonic()
+    with _smt_capturing(args, problem_name):
+        if _wants_recording(args):
+            from repro import obs
+
+            with obs.recording() as recorder:
+                outcome = solver.synthesize(problem)
+            _write_telemetry(recorder, args)
+        else:
             outcome = solver.synthesize(problem)
-        _write_telemetry(recorder, args)
-    else:
-        outcome = solver.synthesize(problem)
     elapsed = time.monotonic() - start
     if trace is not None and args.trace:
         print(trace.render(), file=sys.stderr)
@@ -206,7 +271,7 @@ def _run_multi(problem, args) -> int:
     from repro.synth.multi import MultiFunctionSynthesizer
 
     synthesizer = MultiFunctionSynthesizer(SynthConfig(timeout=args.timeout))
-    if args.spans_out or args.metrics_out:
+    if _wants_recording(args):
         from repro import obs
 
         with obs.recording() as recorder:
@@ -619,6 +684,12 @@ def build_profile_arg_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="number of hottest SMT queries to show (default: 10)",
     )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH",
+        default=None,
+        help="also convert the span dump to a Chrome/Perfetto trace file",
+    )
     return parser
 
 
@@ -628,13 +699,29 @@ def _profile_main(argv) -> int:
 
     args = build_profile_arg_parser().parse_args(argv)
     try:
-        spans, _events, _header = read_spans_jsonl(args.file)
+        spans, events, header = read_spans_jsonl(args.file)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not spans:
         print("error: no spans in file", file=sys.stderr)
         return 2
+    truncated = bool(header.get("truncated"))
+    if truncated:
+        print(
+            "warning: span stream was truncated by the recorder cap; "
+            "attribution is computed from a partial stream",
+            file=sys.stderr,
+        )
+    if args.trace_chrome:
+        from repro.obs.chrome import write_trace_chrome
+
+        try:
+            write_trace_chrome(
+                args.trace_chrome, spans, events=events, truncated=truncated
+            )
+        except OSError as exc:
+            print(f"warning: cannot write trace: {exc}", file=sys.stderr)
     try:
         print(profile_text(spans, top=args.top))
     except BrokenPipeError:
@@ -642,6 +729,130 @@ def _profile_main(argv) -> int:
         import os
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def build_explain_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth explain",
+        description=(
+            "Explain a synthesis run: the subproblem tree with per-node "
+            "wall/SMT attribution, the deduction rule-firing table, and — "
+            "for unsolved runs — the failure frontier."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help="a span JSONL dump (from --spans-out), or a SyGuS-IF .sl "
+        "problem to run and explain in one step",
+    )
+    parser.add_argument(
+        "--solver",
+        choices=SOLVER_NAMES,
+        default="dryadsynth",
+        help="solver to run when TARGET is a problem file",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget when TARGET is a problem file",
+    )
+    return parser
+
+
+def _explain_main(argv) -> int:
+    from repro.obs.explain import build_explain, render_explain
+
+    args = build_explain_arg_parser().parse_args(argv)
+    if args.target.endswith((".jsonl", ".json")):
+        from repro.obs.export import read_spans_jsonl
+
+        try:
+            spans, events, header = read_spans_jsonl(args.target)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not spans:
+            print("error: no spans in file", file=sys.stderr)
+            return 2
+        truncated = bool(header.get("truncated"))
+        report = build_explain(spans, events, truncated=truncated)
+    else:
+        try:
+            problem = parse_sygus_file(args.target)
+        except (OSError, Exception) as exc:  # noqa: BLE001 - CLI boundary
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from repro import obs
+        from repro.sygus.multi import MultiSygusProblem
+
+        if isinstance(problem, MultiSygusProblem):
+            print(
+                "error: explain runs single-function problems; solve with "
+                "--spans-out and explain the dump instead",
+                file=sys.stderr,
+            )
+            return 2
+        solver = make_solver(args.solver, args.timeout)
+        with obs.recording() as recorder:
+            outcome = solver.synthesize(problem)
+        status = "solved" if outcome.solution is not None else (
+            "timeout" if outcome.timed_out else "fail"
+        )
+        print(f"; {args.target}: {status}", file=sys.stderr)
+        report = build_explain(
+            recorder.spans, recorder.events, truncated=recorder.truncated
+        )
+    try:
+        print(render_explain(report))
+    except BrokenPipeError:
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def build_smt_replay_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth smt-replay",
+        description=(
+            "Replay a captured SMT query corpus (--smt-corpus) on a fresh "
+            "solver: re-check every status, semantically verify every "
+            "stored model, and report timing percentiles.  Exit codes: "
+            "0 no divergence, 2 usage/IO, 3 corrupt corpus, 4 status "
+            "divergence, 5 model divergence."
+        ),
+    )
+    parser.add_argument(
+        "corpus",
+        help="corpus directory (from --smt-corpus) or a single "
+        "*.smtq.jsonl file",
+    )
+    return parser
+
+
+def _smt_replay_main(argv) -> int:
+    from repro.smt import capture
+
+    args = build_smt_replay_arg_parser().parse_args(argv)
+    try:
+        report = capture.replay_corpus(args.corpus)
+    except capture.CorpusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(capture.render_report(report))
+    kinds = report.kinds()
+    if capture.KIND_CORRUPT in kinds:
+        return 3
+    if capture.KIND_STATUS in kinds:
+        return 4
+    if capture.KIND_MODEL in kinds:
+        return 5
     return 0
 
 

@@ -32,6 +32,7 @@ def dump_spans_jsonl(recorder: SpanRecorder, handle: TextIO) -> None:
         "format": SPANS_FORMAT,
         "pid": recorder.pid,
         "dropped": recorder.dropped,
+        "truncated": recorder.truncated,
         "num_spans": len(recorder.spans),
         "num_events": len(recorder.events),
     }

@@ -185,6 +185,52 @@ def read_flight_journal(path: str) -> Dict:
     }
 
 
+def _forensics_frontier(spans: List[Dict], events: List[Dict]) -> Optional[Dict]:
+    """The subproblem-graph node the worker touched last, plus context.
+
+    Reconstructed purely from journaled records: the latest span or event
+    carrying a ``node`` attr names the frontier node; the latest forensics
+    ``divide.*`` / ``deduct.rule`` / ``cegis.cex`` records say what the
+    search was attempting there.  Returns ``None`` when the journal holds no
+    node-attributed record (forensics was off, or the ring rotated past it).
+    """
+    records = [
+        (s.get("start", 0.0) + s.get("wall", 0.0), "span", s) for s in spans
+    ]
+    records += [(e.get("elapsed", 0.0), "event", e) for e in events]
+    records.sort(key=lambda r: r[0])
+    frontier: Dict = {}
+    node_meta: Dict[str, Dict] = {}
+    for _ts, kind, record in records:
+        attrs = record.get("attrs") or {}
+        name = record.get("name", "?")
+        if kind == "event" and record.get("domain") == "forensics":
+            node = attrs.get("node")
+            if name == "graph.node" and node:
+                node_meta[node] = {
+                    "fun": attrs.get("fun"),
+                    "depth": attrs.get("depth"),
+                }
+            elif name.startswith("divide.") and attrs.get("strategy"):
+                frontier["last_strategy"] = attrs["strategy"]
+            elif name == "deduct.rule" and attrs.get("rule"):
+                frontier["last_rule"] = attrs["rule"]
+            elif name == "cegis.cex" and attrs.get("cex"):
+                frontier["last_cex"] = attrs["cex"]
+            if node:
+                frontier["node"] = node
+                frontier["via"] = name
+        elif attrs.get("node"):
+            frontier["node"] = attrs["node"]
+            frontier["via"] = name
+    if "node" not in frontier:
+        return None
+    meta = node_meta.get(frontier["node"])
+    if meta:
+        frontier.update({k: v for k, v in meta.items() if v is not None})
+    return frontier
+
+
 def read_postmortem(path: str, tail: int = 25) -> Optional[Dict]:
     """Build the ``JobResult.postmortem`` payload from a journal file.
 
@@ -233,6 +279,7 @@ def read_postmortem(path: str, tail: int = 25) -> Optional[Dict]:
         "truncated": journal["truncated"],
         "corrupt": journal["corrupt"],
         "last": last_record,
+        "frontier": _forensics_frontier(spans, events),
     }
 
 
@@ -292,4 +339,20 @@ def render_postmortem(postmortem: Dict) -> str:
         kind, payload = next(iter(last.items()))
         name = payload.get("name", "?")
         lines.append(f"  last activity: {kind} {name!r}")
+    frontier = postmortem.get("frontier")
+    if frontier:
+        detail = [f"node {frontier['node']}"]
+        if frontier.get("fun"):
+            detail.append(f"fun={frontier['fun']}")
+        if frontier.get("depth") is not None:
+            detail.append(f"depth={frontier['depth']}")
+        if frontier.get("via"):
+            detail.append(f"via={frontier['via']}")
+        if frontier.get("last_strategy"):
+            detail.append(f"last_strategy={frontier['last_strategy']}")
+        if frontier.get("last_rule"):
+            detail.append(f"last_rule={frontier['last_rule']}")
+        lines.append(f"  frontier: {' '.join(detail)}")
+        if frontier.get("last_cex"):
+            lines.append(f"    last counterexample: {frontier['last_cex']}")
     return "\n".join(lines)

@@ -41,6 +41,7 @@ METRIC_HELP: Dict[str, str] = {
     "cache.hits": "result-cache hits",
     "cache.misses": "result-cache misses",
     "cache.evictions": "result-cache evictions",
+    "obs.spans_dropped": "telemetry spans/events dropped at the recorder cap",
     "pool.jobs_completed": "worker-pool job completions",
     "pool.jobs_running": "jobs currently assigned to a worker",
     "pool.jobs_queued": "jobs admitted but not yet assigned",

@@ -228,9 +228,27 @@ class SpanRecorder:
         if self.sink is not None:
             self.sink.on_span(span)
         if len(self.spans) >= self.max_spans:
-            self.dropped += 1
+            self._drop()
             return
         self.spans.append(span)
+
+    def _drop(self, count: int = 1) -> None:
+        """Account for records lost to the cap — never silently.
+
+        Drops are tallied on the recorder *and* in its metrics registry
+        (``obs.spans_dropped``), so a truncated stream is visible in every
+        export surface: the JSONL header, the Prometheus dump, and the
+        ``truncated`` flag consumers like ``explain``/``profile`` warn on.
+        """
+        if count <= 0:
+            return
+        self.dropped += count
+        self.metrics.counter("obs.spans_dropped").inc(count)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the cap forced at least one span/event drop."""
+        return self.dropped > 0
 
     # -- Recording -------------------------------------------------------------
 
@@ -259,7 +277,7 @@ class SpanRecorder:
         if self.sink is not None:
             self.sink.on_event(event)
         if len(self.events) >= self.max_spans:
-            self.dropped += 1
+            self._drop()
             return
         self.events.append(event)
 
@@ -275,6 +293,7 @@ class SpanRecorder:
             "format": "repro-spans/1",
             "pid": self.pid,
             "dropped": self.dropped,
+            "truncated": self.truncated,
             "spans": [span.to_json() for span in self.spans],
             "events": [event.to_json() for event in self.events],
         }
@@ -326,7 +345,7 @@ class SpanRecorder:
             )
         for event in child_events:
             if len(self.events) >= self.max_spans:
-                self.dropped += 1
+                self._drop()
                 break
             self.events.append(
                 ObsEvent(
@@ -337,7 +356,7 @@ class SpanRecorder:
                     span_id=id_map.get(event.span_id, root_id),
                 )
             )
-        self.dropped += data.get("dropped", 0)
+        self._drop(int(data.get("dropped", 0)))
         self._finish(
             Span(
                 span_id=root_id,

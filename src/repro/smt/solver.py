@@ -24,6 +24,7 @@ from repro.lang.builders import not_
 from repro.lang.simplify import simplify
 from repro.lang.sorts import BOOL
 from repro.lang.traversal import free_vars
+from repro.smt import capture as _capture
 from repro.smt.branch_bound import BudgetExceeded, check_lia
 from repro.smt.implicant import extract_implicant
 from repro.smt.simplex import pivots_total
@@ -203,12 +204,60 @@ class SmtSolver:
         every call additionally emits an ``smt.solve`` log event carrying
         the ambient job/problem correlation IDs — the level check is cached
         by :mod:`logging`, so the quiet path stays one lookup.
+
+        With query capture active (:func:`repro.smt.capture.capturing`, the
+        ``--smt-corpus`` flag) the call is additionally serialized — query,
+        outcome, model and wall time — into the replayable corpus.
         """
+        if _capture.active() is not None:
+            return self._solve_captured(assumptions)
+        return self._solve_dispatch(assumptions)
+
+    def _solve_dispatch(self, assumptions: Sequence[Term]) -> Result:
+        """Route to the plain/logged/traced solve path (see :meth:`solve`)."""
         if obs.active() is None:
             if not logger.isEnabledFor(logging.DEBUG):
                 return self._solve_impl(assumptions)
             return self._solve_logged(assumptions)
         return self._solve_traced(assumptions)
+
+    def _solve_captured(self, assumptions: Sequence[Term]) -> Result:
+        """One captured solve: snapshot the query, run, record the outcome.
+
+        The snapshot happens *before* solving (the outcome must describe the
+        query as issued); a budget abort is recorded as its own status so
+        replay can reproduce even aborted queries.
+        """
+        writer = _capture.active()
+        query = writer.snapshot(self, assumptions)
+        start = time.monotonic()
+        status = "error"
+        model = None
+        try:
+            result = self._solve_dispatch(assumptions)
+            status = result.status.value
+            model = result.model
+            return result
+        except SolverBudgetExceeded:
+            # A wall-clock abort is an artifact of this run's deadline, not a
+            # property of the query; record it distinctly so replay knows the
+            # outcome is not reproducible on a fresh, undeadlined solver.
+            if self.deadline is not None and time.monotonic() >= self.deadline:
+                status = "deadline-exceeded"
+            else:
+                status = "budget-exceeded"
+            raise
+        finally:
+            writer.record(
+                query,
+                status,
+                model,
+                time.monotonic() - start,
+                {
+                    "max_rounds": self.max_rounds,
+                    "lia_node_budget": self.lia_node_budget,
+                },
+            )
 
     def _solve_logged(self, assumptions: Sequence[Term]) -> Result:
         """One log-only solve (telemetry off, DEBUG logging on)."""

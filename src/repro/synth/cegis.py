@@ -12,6 +12,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs import forensics
 from repro.lang.ast import Term
 from repro.lang.evaluator import Value
 from repro.smt.solver import SolverBudgetExceeded
@@ -55,6 +56,11 @@ def cegis(
     iterations = 0
     for _ in range(max_rounds):
         iterations += 1
+        forensics.emit(
+            forensics.CEGIS_ITER,
+            iteration=iterations,
+            examples=len(examples),
+        )
         _check_deadline(deadline)
         try:
             with obs.span("verify", problem=problem.name):
@@ -66,6 +72,11 @@ def cegis(
         assert counterexample is not None
         if counterexample not in examples:
             examples.append(counterexample)
+            forensics.emit(
+                forensics.CEGIS_CEX,
+                iteration=iterations,
+                cex=forensics.render_example(counterexample),
+            )
         elif from_ind_synth:
             # ind_synth claimed consistency with this example yet the
             # verifier refutes the candidate on it: no progress is possible

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 logger = logging.getLogger(__name__)
 
 from repro import obs
+from repro.obs import forensics
 from repro.obs.log import jlog
 from repro.lang.ast import Term
 from repro.smt.solver import SolverBudgetExceeded
@@ -30,7 +31,14 @@ from repro.synth.deduction import Deducer
 from repro.synth.divide import Split, propose_splits
 from repro.synth.encoding import EncodingUnsupported
 from repro.synth.fixed_height import fixed_height
-from repro.synth.graph import Edge, Node, SubproblemGraph
+from repro.synth.graph import (
+    Edge,
+    Node,
+    SubproblemGraph,
+    note_freed,
+    note_parked,
+    note_solved,
+)
 from repro.synth.result import SynthesisOutcome, SynthesisStats
 
 #: Signature of a pluggable enumerative engine: returns a candidate body of
@@ -131,7 +139,9 @@ class CooperativeSynthesizer:
                         continue
                     logger.debug("deduct: %s", node.problem.name)
                     self._record("deduct", node.problem.name)
-                    with obs.span("deduct", problem=node.problem.name):
+                    with obs.span(
+                        "deduct", problem=node.problem.name, node=node.node_id
+                    ):
                         self._deduction_step(node, graph, ded_queue, stats, deadline)
                     if not node.solved:
                         enqueue_enum(node, 1)
@@ -143,7 +153,10 @@ class CooperativeSynthesizer:
                     stats.max_height_reached = max(stats.max_height_reached, height)
                     step_start = time.monotonic()
                     with obs.span(
-                        "enum", problem=node.problem.name, height=height
+                        "enum",
+                        problem=node.problem.name,
+                        height=height,
+                        node=node.node_id,
                     ) as enum_span:
                         body, exhausted = self._enum_step(
                             node, height, stats, deadline
@@ -167,6 +180,7 @@ class CooperativeSynthesizer:
                     elif not exhausted:
                         # Time slice expired: yield to other subproblems and
                         # come back to the same height later.
+                        note_parked(node, height)
                         enqueue_enum(node, height)
                     elif height < config.max_height:
                         enqueue_enum(node, height + 1)
@@ -189,7 +203,11 @@ class CooperativeSynthesizer:
                 from repro.synth.minimize import minimize_solution
 
                 try:
-                    with obs.span("minimize", problem=problem.name):
+                    with obs.span(
+                        "minimize",
+                        problem=problem.name,
+                        node=graph.source.node_id,
+                    ):
                         body = minimize_solution(
                             problem, body, config.minimize_budget, deadline
                         )
@@ -237,6 +255,13 @@ class CooperativeSynthesizer:
                     "split",
                     node.problem.name,
                     f"{split.strategy}:{split.subproblem.name}",
+                )
+                forensics.emit(
+                    forensics.DIVIDE_CHOICE,
+                    node=node.node_id,
+                    strategy=split.strategy,
+                    child=child.node_id,
+                    created=created,
                 )
                 if created:
                     ded_queue.append(child)
@@ -303,6 +328,7 @@ class CooperativeSynthesizer:
         stats: SynthesisStats,
         deadline: Optional[float],
         verified: bool = False,
+        how: str = "direct",
     ) -> None:
         if node.solved:
             return
@@ -311,13 +337,21 @@ class CooperativeSynthesizer:
         if not verified and not self._accept(node, body, deadline):
             logger.debug("rejected unverified candidate for %s", node.problem.name)
             self._record("reject", node.problem.name)
+            forensics.emit(
+                forensics.DIVIDE_REJECT,
+                node=node.node_id,
+                reason="unverified-candidate",
+            )
             return
         node.solution = body
         stats.subproblems_solved += 1
         jlog(logger, "synth.subproblem_solved", problem=node.problem.name)
+        note_solved(node, how)
         # A solved node never enumerates again: release its parked
         # incremental solver sessions (clause DBs, atom tables) right away
         # instead of holding them until the whole run finishes.
+        if node.sessions:
+            note_freed(node, len(node.sessions))
         node.sessions.clear()
         self._record("solved", node.problem.name, detail="direct")
         self._propagate(node, graph, ded_queue, stats, deadline)
@@ -338,11 +372,14 @@ class CooperativeSynthesizer:
                 continue
             resolution = edge.split.resolve(node.solution)
             if resolution is None:
+                # The resolver emitted its own divide.reject with the
+                # specific reason (trivial-a-solution, not-in-grammar, ...).
                 continue
             if resolution[0] == "solution":
                 candidate = resolution[1]
                 self._mark_solved(
-                    parent, candidate, graph, ded_queue, stats, deadline
+                    parent, candidate, graph, ded_queue, stats, deadline,
+                    how="propagated",
                 )
                 continue
             _, b_problem, combine = resolution
@@ -360,7 +397,10 @@ class CooperativeSynthesizer:
     ) -> bool:
         """Defensive verification of a combined solution."""
         try:
-            with obs.span("verify", problem=node.problem.name, accept=True):
+            with obs.span(
+                "verify", problem=node.problem.name, accept=True,
+                node=node.node_id,
+            ):
                 ok, _ = node.problem.verify(candidate, deadline)
         except SolverBudgetExceeded:
             return False

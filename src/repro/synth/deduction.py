@@ -43,6 +43,7 @@ from repro.lang.builders import (
 )
 from repro.lang.simplify import simplify
 from repro.lang.sorts import BOOL, INT
+from repro.obs import forensics
 from repro.lang.traversal import (
     app_occurrences,
     contains_app,
@@ -55,6 +56,11 @@ from repro.synth.result import SynthesisStats
 
 #: Upper bound on the clause count produced by CNF distribution.
 _MAX_CNF_CLAUSES = 128
+
+
+def _rule_event(rule: str, outcome: str, **attrs) -> None:
+    """One ``deduct.rule`` forensics record (Figure 7/8 rule application)."""
+    forensics.emit(forensics.DEDUCT_RULE, rule=rule, outcome=outcome, **attrs)
 
 
 @dataclass
@@ -232,8 +238,18 @@ def _literal_term(literal: Literal) -> Term:
 # ---------------------------------------------------------------------------
 
 
-def _merge_within_clause(literals: List[Literal]) -> List[Literal]:
-    """GeMin / LeMax / NotEq: merge disjoined comparisons per invocation."""
+def _merge_within_clause(
+    literals: List[Literal], counts: Optional[Dict[str, int]] = None
+) -> List[Literal]:
+    """GeMin / LeMax / NotEq: merge disjoined comparisons per invocation.
+
+    ``counts`` (when given) tallies merges per rule name for forensics.
+    """
+
+    def tally(rule: str) -> None:
+        if counts is not None:
+            counts[rule] = counts.get(rule, 0) + 1
+
     merged: List[Literal] = []
     ge_bounds: Dict[Term, Term] = {}
     le_bounds: Dict[Term, Term] = {}
@@ -246,9 +262,11 @@ def _merge_within_clause(literals: List[Literal]) -> List[Literal]:
                 if literal.is_ge:
                     # f >= e1 or f >= e2  =>  f >= min(e1, e2)   (GeMin)
                     store[inv] = simplify(ite(ge(e1, e2), e2, e1))
+                    tally("ge-min")
                 else:
                     # f <= e1 or f <= e2  =>  f <= max(e1, e2)   (LeMax)
                     store[inv] = simplify(ite(ge(e1, e2), e1, e2))
+                    tally("le-max")
             else:
                 store[inv] = literal.bound
         else:
@@ -262,6 +280,7 @@ def _merge_within_clause(literals: List[Literal]) -> List[Literal]:
                 )
                 del ge_bounds[inv]
                 del le_bounds[inv]
+                tally("not-eq")
     for inv, bound in ge_bounds.items():
         merged.append(FBound(inv, True, bound))
     for inv, bound in le_bounds.items():
@@ -280,8 +299,15 @@ def _constant_gap(left: Term, right: Term) -> object:
     return diff.const if diff.is_constant else None
 
 
-def _merge_units(clauses: List[List[Literal]]) -> List[List[Literal]]:
+def _merge_units(
+    clauses: List[List[Literal]], counts: Optional[Dict[str, int]] = None
+) -> List[List[Literal]]:
     """GeMax / LeMin: merge conjoined unit comparisons of one invocation."""
+
+    def tally(rule: str) -> None:
+        if counts is not None:
+            counts[rule] = counts.get(rule, 0) + 1
+
     ge_units: Dict[Term, Term] = {}
     le_units: Dict[Term, Term] = {}
     rest: List[List[Literal]] = []
@@ -295,9 +321,11 @@ def _merge_units(clauses: List[List[Literal]]) -> List[List[Literal]]:
                 if literal.is_ge:
                     # f >= e1 and f >= e2  =>  f >= max(e1, e2)   (GeMax)
                     store[inv] = simplify(ite(ge(e1, e2), e1, e2))
+                    tally("ge-max")
                 else:
                     # f <= e1 and f <= e2  =>  f <= min(e1, e2)   (LeMin)
                     store[inv] = simplify(ite(ge(e1, e2), e2, e1))
+                    tally("le-min")
             else:
                 store[inv] = literal.bound
         else:
@@ -369,14 +397,18 @@ class Deducer:
         if not contains_app(spec, fun_name):
             # f is unconstrained: any grammar member works iff spec is valid.
             if self._valid(spec):
+                _rule_event("unconstrained", "fired")
                 return DeductionResult(solution=self._any_member())
+            _rule_event("unconstrained", "failed")
             return DeductionResult(unsolvable=True)
         if problem.invariant is not None:
             from repro.synth.loop_summary import try_loop_summary
 
             summary_solution = try_loop_summary(problem, self)
             if summary_solution is not None:
+                _rule_event("loop-summary", "fired")
                 return DeductionResult(solution=summary_solution)
+            _rule_event("loop-summary", "failed")
         removed = self._try_remove_arg(spec)
         if removed is not None:
             return removed
@@ -406,6 +438,7 @@ class Deducer:
                 break
         if drop_index is None:
             return None
+        _rule_event("remove-arg", "attempt")
         reduced_params = params[:drop_index] + params[drop_index + 1 :]
         reduced_name = problem.fun_name + "!droparg"
         reduced_fun = SynthFun(
@@ -430,16 +463,20 @@ class Deducer:
         )
         result = Deducer(reduced_problem, self.stats).deduct()
         if result.solution is None:
+            _rule_event("remove-arg", "failed")
             return None
         # The reduced body mentions only the surviving parameters, so it is
         # directly a body for f (which ignores the constant argument).
         body = result.solution
         if not self.problem.synth_fun.grammar.generates(body):
+            _rule_event("remove-arg", "failed")
             return None
         ok, _ = self.problem.verify(body)
         if not ok:
+            _rule_event("remove-arg", "failed")
             return None
         self.stats.deduction_solved = True
+        _rule_event("remove-arg", "fired")
         return DeductionResult(solution=body)
 
     # -- RemoveVar (Figure 7) ----------------------------------------------------------
@@ -453,6 +490,7 @@ class Deducer:
         from repro.lang.builders import var as make_var
 
         current = spec
+        pinned = 0
         candidates = sorted(free_vars(spec), key=lambda v: v.payload)
         for variable in candidates:
             if variable not in free_vars(current):
@@ -478,6 +516,12 @@ class Deducer:
             renamed = substitute(abstracted, {variable: fresh})
             if self._valid(iff(abstracted, renamed)):
                 current = simplify(substitute(current, {variable: int_const(0)}))
+                pinned += 1
+        if pinned:
+            _rule_event(
+                "remove-var", "fired", count=pinned,
+                delta=current.size - spec.size,
+            )
         return current
 
     def _any_member(self) -> Optional[Term]:
@@ -493,16 +537,25 @@ class Deducer:
         nnf = _split_f_equalities(nnf, fun_name)
         cnf = _to_cnf(simplify(nnf))
         if cnf is None:
+            _rule_event("cnf", "failed", reason="clause-budget")
             return DeductionResult(simplified_spec=None)
+        counts: Optional[Dict[str, int]] = {} if forensics.enabled() else None
         clauses = [
             _merge_within_clause(
-                [_classify_literal(lit, fun_name) for lit in _clause_literals(c)]
+                [_classify_literal(lit, fun_name) for lit in _clause_literals(c)],
+                counts,
             )
             for c in cnf
         ]
-        clauses = _merge_units(clauses)
+        clauses = _merge_units(clauses, counts)
+        before_factor = len(clauses)
         clauses = _factor_common_disjuncts(clauses)
         self.stats.deduction_steps += 1
+        if counts is not None:
+            if before_factor > len(clauses):
+                counts["cnf"] = before_factor - len(clauses)
+            for rule in sorted(counts):
+                _rule_event(rule, "fired", count=counts[rule])
 
         solution = self._try_eq_rule(clauses)
         if solution is not None:
@@ -510,6 +563,9 @@ class Deducer:
 
         simplified = self._rebuild_spec(clauses)
         if simplified.size < spec.size:
+            _rule_event(
+                "int-rewrite", "fired", delta=simplified.size - spec.size
+            )
             return DeductionResult(simplified_spec=simplified)
         return DeductionResult()
 
@@ -534,8 +590,10 @@ class Deducer:
             # Eq rule: f(e) >= e1 and f(e) <= e2 with T |= e1 = e2.
             if not self._equal_terms(lower, upper):
                 continue
+            _rule_event("eq", "attempt")
             body = self._body_from_invocation(invocation, lower)
             if body is None:
+                _rule_event("eq", "failed", reason="invocation-shape")
                 continue
             # IntEq: substitute the forced implementation into the residue.
             residue_terms = [
@@ -546,10 +604,12 @@ class Deducer:
             if residue is not None:
                 inlined = self._instantiate_residue(residue, body)
                 if not self._valid(inlined):
+                    _rule_event("int-eq", "failed", reason="residue-invalid")
                     continue
             fitted = self.fit_to_grammar(body)
             if fitted is not None:
                 self.stats.deduction_solved = True
+                _rule_event("eq", "fired", delta=fitted.size)
                 return DeductionResult(solution=fitted)
         return None
 
@@ -636,11 +696,13 @@ class Deducer:
         candidate = simplify(and_(*uppers)) if uppers else _true()
         for lower in lowers:
             if not self._valid(or_(not_(lower), candidate)):
+                _rule_event("bool-envelope", "failed", reason="lower-uncovered")
                 return DeductionResult()
         fitted = self.fit_to_grammar(candidate)
         if fitted is None:
             return DeductionResult()
         self.stats.deduction_solved = True
+        _rule_event("bool-envelope", "fired", delta=fitted.size)
         return DeductionResult(solution=fitted)
 
     # -- Match rule ------------------------------------------------------------------------
@@ -652,7 +714,9 @@ class Deducer:
             return body
         rewritten = match_rewrite(body, grammar)
         if rewritten is not None and grammar.generates(rewritten):
+            _rule_event("match", "fired", delta=rewritten.size - body.size)
             return rewritten
+        _rule_event("match", "failed")
         return None
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.lang.ast import Kind, Term
+from repro.obs import forensics
 from repro.lang.builders import and_, eq, ge, implies, ite, le, not_, or_, var
 from repro.lang.simplify import simplify
 from repro.lang.sorts import BOOL, INT
@@ -57,6 +58,25 @@ class Split:
 
     #: Maps the A-solution body to the parent's resolution.
     resolve: Callable[[Term], Optional[Resolution]] = None  # type: ignore[assignment]
+
+
+def _reject(parent: SygusProblem, strategy: str, reason: str) -> None:
+    """Emit a ``divide.reject`` forensics event keyed by the parent node.
+
+    Resolvers are closures over problems, not graph nodes, so the stable
+    node ID is recomputed here (lazy import — the graph module imports this
+    one for :class:`Split`).
+    """
+    if not forensics.enabled():
+        return
+    from repro.synth.graph import stable_node_id
+
+    forensics.emit(
+        forensics.DIVIDE_REJECT,
+        node=stable_node_id(parent),
+        strategy=strategy,
+        reason=reason,
+    )
 
 
 def propose_splits(problem: SygusProblem, config: SynthConfig) -> List[Split]:
@@ -117,6 +137,7 @@ def subterm_splits(problem: SygusProblem, config: SynthConfig) -> List[Split]:
     ):
         aux_params = tuple(sorted(free_vars(subterm), key=lambda v: v.payload))
         if len(aux_params) > len(problem.synth_fun.params):
+            _reject(problem, "subterm", "aux-params-exceed")
             continue
         aux_name = f"aux{index}!{problem.fun_name}"
         aux_grammar = Grammar(
@@ -276,6 +297,7 @@ def _make_fixed_term_resolver(
 
             rewritten = match_rewrite(body, parent.synth_fun.grammar)
             if rewritten is None or not parent.synth_fun.grammar.generates(rewritten):
+                _reject(parent, "fixed-term", "not-in-grammar")
                 return None
             body = rewritten
         return ("solution", body)
@@ -330,6 +352,7 @@ def _weaker_split(
         if p_body.kind is Kind.CONST:
             # A trivial A-solution (true/false) makes the B problem identical
             # to the parent: no progress, reject the division.
+            _reject(problem, "weaker-spec", "trivial-a-solution")
             return None
         g_name = f"g!{problem.fun_name}"
         g_fun = SynthFun(

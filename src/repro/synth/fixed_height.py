@@ -15,6 +15,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import forensics
 from repro.lang.ast import Kind, Term
 from repro.lang.builders import and_, bool_var, implies, int_const
 from repro.lang.evaluator import EvaluationError, Value, evaluate
@@ -201,6 +202,12 @@ class FixedHeightSession:
             self._check_deadline(deadline)
             self.rounds += 1
             stats.cegis_iterations += 1
+            forensics.emit(
+                forensics.CEGIS_ITER,
+                iteration=self.rounds,
+                height=self.height,
+                examples=len(examples),
+            )
             try:
                 with obs.span("verify", problem=problem.name,
                               height=self.height):
@@ -213,6 +220,12 @@ class FixedHeightSession:
             assert counterexample is not None
             if counterexample not in examples:
                 examples.append(counterexample)
+                forensics.emit(
+                    forensics.CEGIS_CEX,
+                    iteration=self.rounds,
+                    height=self.height,
+                    cex=forensics.render_example(counterexample),
+                )
             elif self._candidate_from_ind:
                 # ind-synth claimed consistency yet verification refutes on a
                 # known example: the candidate space is exhausted.

@@ -1,0 +1,99 @@
+"""Chrome trace_event export: structure, lanes, and CLI wiring."""
+
+import json
+
+from repro.obs.chrome import build_trace, write_trace_chrome
+from repro.obs.spans import ObsEvent, Span
+
+
+def _spans():
+    return [
+        Span(1, None, "synth", 0.0, wall=1.0, attrs={"node": "aaa"}, pid=100),
+        Span(2, 1, "smt.solve", 0.2, wall=0.3, attrs={"rounds": 4}, pid=100),
+        Span(3, None, "worker", 0.1, wall=0.5, status="error", pid=200),
+    ]
+
+
+def _events():
+    return [
+        ObsEvent("graph.node", 0.05, {"node": "aaa"}, "forensics", 1),
+        ObsEvent("orphan", 0.4, {}, "obs", None),
+    ]
+
+
+class TestTraceBuild:
+    def test_spans_become_complete_events(self):
+        trace = build_trace(_spans(), _events())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 3
+        synth = next(e for e in complete if e["name"] == "synth")
+        assert synth["ts"] == 0.0
+        assert synth["dur"] == 1_000_000.0
+        assert synth["args"]["node"] == "aaa"
+
+    def test_pid_lanes_follow_the_recording_process(self):
+        trace = build_trace(_spans(), _events())
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        assert by_name["synth"]["pid"] == 100
+        assert by_name["worker"]["pid"] == 200
+        # Instants land on their enclosing span's lane; orphans on lane 0.
+        assert by_name["graph.node"]["pid"] == 100
+        assert by_name["orphan"]["pid"] == 0
+
+    def test_instants_keep_their_domain_as_category(self):
+        trace = build_trace(_spans(), _events())
+        instant = next(
+            e for e in trace["traceEvents"] if e["name"] == "graph.node"
+        )
+        assert instant["ph"] == "i"
+        assert instant["cat"] == "forensics"
+        assert instant["ts"] == 50_000.0
+
+    def test_error_status_rides_in_args(self):
+        trace = build_trace(_spans())
+        worker = next(
+            e for e in trace["traceEvents"] if e["name"] == "worker"
+        )
+        assert worker["args"]["status"] == "error"
+
+    def test_metadata_counts_and_truncation(self):
+        trace = build_trace(_spans(), _events(), truncated=True)
+        assert trace["otherData"] == {
+            "format": "repro-chrome/1",
+            "truncated": True,
+            "spans": 3,
+            "events": 2,
+        }
+
+    def test_write_produces_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_trace_chrome(path, _spans(), events=_events())
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert len(trace["traceEvents"]) == 5
+
+
+class TestCliWiring:
+    def test_profile_trace_chrome_converts_a_dump(self, tmp_path, capsys):
+        from repro import obs
+        from repro.bench.runner import make_solver
+        from repro.cli import main
+        from repro.obs.export import write_spans_jsonl
+        from repro.sygus.parser import parse_sygus_text
+
+        from tests.obs.test_forensics import MAX2
+
+        problem = parse_sygus_text(MAX2, "max2")
+        with obs.recording() as recorder:
+            make_solver("dryadsynth", 5.0).synthesize(problem)
+        dump = str(tmp_path / "spans.jsonl")
+        write_spans_jsonl(recorder, dump)
+        trace_path = str(tmp_path / "trace.json")
+        assert main(["profile", dump, "--trace-chrome", trace_path]) == 0
+        capsys.readouterr()
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        assert trace["otherData"]["truncated"] is False
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "smt.solve" in names
+        assert "graph.node" in names  # forensics instants ride along

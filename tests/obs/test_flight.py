@@ -151,3 +151,62 @@ class TestReadPostmortem:
         assert "job.start" in report
         assert "deduct" in report
         assert "last activity" in report
+
+
+class TestForensicsFrontier:
+    """Post-mortems name the graph node the worker touched last."""
+
+    def _journal(self, tmp_path, records):
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.spans import ObsEvent, Span
+
+        recorder = FlightRecorder(str(tmp_path / "j.flight.jsonl"))
+        for record in records:
+            if isinstance(record, Span):
+                recorder.on_span(record)
+            else:
+                recorder.on_event(record)
+        recorder.close()
+        return recorder.path
+
+    def test_frontier_names_the_last_active_node(self, tmp_path):
+        from repro.obs.flight import read_postmortem, render_postmortem
+        from repro.obs.spans import ObsEvent, Span
+
+        path = self._journal(tmp_path, [
+            ObsEvent("graph.node", 0.0,
+                     {"node": "aaa111", "fun": "f", "depth": 0},
+                     "forensics", 1),
+            ObsEvent("graph.node", 0.1,
+                     {"node": "bbb222", "fun": "g0!f", "parent": "aaa111",
+                      "strategy": "fixed-term", "depth": 1},
+                     "forensics", 1),
+            Span(2, 1, "deduct", 0.2, wall=0.1, attrs={"node": "aaa111"}),
+            ObsEvent("deduct.rule", 0.35, {"rule": "match",
+                                           "outcome": "failed"},
+                     "forensics", 3),
+            ObsEvent("divide.reject", 0.4,
+                     {"node": "bbb222", "strategy": "fixed-term",
+                      "reason": "not-in-grammar"}, "forensics", 3),
+            Span(3, 1, "enum", 0.3, wall=0.5, attrs={"node": "bbb222"}),
+        ])
+        postmortem = read_postmortem(path)
+        frontier = postmortem["frontier"]
+        assert frontier is not None
+        assert frontier["node"] == "bbb222"
+        assert frontier["fun"] == "g0!f"
+        assert frontier["last_strategy"] == "fixed-term"
+        assert frontier["last_rule"] == "match"
+        rendered = render_postmortem(postmortem)
+        assert "frontier: node bbb222" in rendered
+        assert "last_rule=match" in rendered
+
+    def test_no_node_records_means_no_frontier(self, tmp_path):
+        from repro.obs.flight import read_postmortem
+        from repro.obs.spans import Span
+
+        path = self._journal(tmp_path, [
+            Span(1, None, "synth", 0.0, wall=1.0),
+        ])
+        postmortem = read_postmortem(path)
+        assert postmortem["frontier"] is None

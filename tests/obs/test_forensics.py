@@ -1,0 +1,142 @@
+"""Forensics events: graph/divide/deduct/cegis records on the span stream.
+
+Covers the tentpole wiring (semantic events keyed by stable node IDs ride
+the ordinary span stream) and the span-cap satellite: dropped records are
+counted, exports carry a ``truncated`` flag, and the renderers warn.
+"""
+
+import json
+
+from repro import obs
+from repro.bench.runner import make_solver
+from repro.obs import forensics
+from repro.obs.export import dump_spans_jsonl, read_spans_jsonl
+from repro.obs.spans import SpanRecorder
+from repro.sygus.parser import parse_sygus_text
+
+MAX2 = """
+(set-logic LIA)
+(synth-fun max2 ((x Int) (y Int)) Int
+  ((Start Int (x y 0 1 (+ Start Start) (- Start Start)
+               (ite StartBool Start Start)))
+   (StartBool Bool ((<= Start Start) (= Start Start) (>= Start Start)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (>= (max2 x y) x))
+(constraint (>= (max2 x y) y))
+(constraint (or (= x (max2 x y)) (= y (max2 x y))))
+(check-synth)
+"""
+
+
+def _solve_recorded(recorder=None, timeout=5.0):
+    problem = parse_sygus_text(MAX2, "max2")
+    solver = make_solver("dryadsynth", timeout)
+    with obs.recording(recorder) as rec:
+        outcome = solver.synthesize(problem)
+    return outcome, rec
+
+
+def _events(recorder, name):
+    return [
+        e for e in recorder.events
+        if e.domain == forensics.DOMAIN and e.name == name
+    ]
+
+
+class TestForensicsEvents:
+    def test_disabled_without_recorder(self):
+        assert forensics.enabled() is False
+        forensics.emit(forensics.GRAPH_NODE, node="dead")  # must not raise
+
+    def test_graph_node_and_solve_events(self):
+        outcome, recorder = _solve_recorded()
+        assert outcome.solution is not None
+        created = _events(recorder, forensics.GRAPH_NODE)
+        assert created, "the source node must be announced"
+        source = created[0]
+        assert source.attrs["fun"] == "max2"
+        assert source.attrs["depth"] == 0
+        assert len(source.attrs["node"]) == 12
+        solves = _events(recorder, forensics.GRAPH_SOLVE)
+        assert any(e.attrs["node"] == source.attrs["node"] for e in solves)
+
+    def test_deduction_rule_events(self):
+        _, recorder = _solve_recorded()
+        rules = _events(recorder, forensics.DEDUCT_RULE)
+        assert rules, "max2 deduction must attempt Figure 7/8 rules"
+        outcomes = {e.attrs["outcome"] for e in rules}
+        assert "fired" in outcomes
+        # The max2 spec merges its >= clauses: the merging rules report it.
+        fired = {e.attrs["rule"] for e in rules if e.attrs["outcome"] == "fired"}
+        assert fired & {"ge-max", "ge-min", "le-max", "eq"}
+
+    def test_spans_carry_node_attribution(self):
+        _, recorder = _solve_recorded()
+        node = _events(recorder, forensics.GRAPH_NODE)[0].attrs["node"]
+        attributed = {
+            span.name for span in recorder.spans
+            if span.attrs.get("node") == node
+        }
+        assert "deduct" in attributed
+
+    def test_render_example_is_deterministic(self):
+        assert forensics.render_example(None) == "{}"
+        assert (
+            forensics.render_example({"y": 2, "x": 1})
+            == '{"x":1,"y":2}'
+        )
+
+
+class TestSpanCapAccounting:
+    """Satellite: the recorder cap drops loudly, never silently."""
+
+    def test_cap_counts_drops_and_flags_truncation(self):
+        recorder = SpanRecorder(max_spans=4)
+        _, rec = _solve_recorded(recorder)
+        assert rec.dropped > 0
+        assert rec.truncated is True
+        counters = rec.metrics.snapshot()["counters"]
+        assert counters["obs.spans_dropped"] == rec.dropped
+        assert rec.to_json()["truncated"] is True
+
+    def test_uncapped_run_is_not_truncated(self):
+        _, rec = _solve_recorded()
+        assert rec.dropped == 0
+        assert rec.truncated is False
+
+    def test_export_header_carries_truncated_flag(self, tmp_path):
+        recorder = SpanRecorder(max_spans=4)
+        _, rec = _solve_recorded(recorder)
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            dump_spans_jsonl(rec, handle)
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["truncated"] is True
+        _, _, parsed_header = read_spans_jsonl(str(path))
+        assert parsed_header["truncated"] is True
+
+    def test_profile_cli_warns_on_truncated_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorder = SpanRecorder(max_spans=4)
+        _, rec = _solve_recorded(recorder)
+        path = str(tmp_path / "spans.jsonl")
+        with open(path, "w") as handle:
+            dump_spans_jsonl(rec, handle)
+        assert main(["profile", path]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+
+    def test_explain_warns_on_truncated_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorder = SpanRecorder(max_spans=4)
+        _, rec = _solve_recorded(recorder)
+        path = str(tmp_path / "spans.jsonl")
+        with open(path, "w") as handle:
+            dump_spans_jsonl(rec, handle)
+        assert main(["explain", path]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.out

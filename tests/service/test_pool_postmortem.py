@@ -136,3 +136,35 @@ class TestJournalLifecycle:
             (result,) = pool.run([_job("debug-exit@13")])
         assert result.status == CRASHED
         assert result.postmortem is None
+
+
+class TestDeadlineKilledSolverFrontier:
+    """Satellite: a deadline-killed *real* solver run leaves a post-mortem
+    whose forensics frontier names the last active subproblem-graph node."""
+
+    def test_postmortem_names_last_graph_node(self, tmp_path):
+        from repro.bench.quick_bench import demo_subset
+        from repro.sygus.serializer import problem_to_sygus
+
+        bench = next(b for b in demo_subset() if b.name == "qm-max3")
+        job = SynthesisJob(
+            problem_text=problem_to_sygus(bench.problem()),
+            solver="dryadsynth",
+            timeout=60.0,  # soft budget far beyond the hard deadline
+            hard_timeout=2.0,
+            name="qm-max3",
+        )
+        flight_dir = str(tmp_path / "flights")
+        with WorkerPool(
+            workers=1, max_retries=0, flight_dir=flight_dir
+        ) as pool:
+            (result,) = pool.run([job])
+        assert result.status == TIMEOUT
+        postmortem = result.postmortem
+        assert postmortem is not None
+        frontier = postmortem["frontier"]
+        assert frontier is not None, (
+            "a killed solver run must name the node it was working on"
+        )
+        assert len(frontier["node"]) == 12
+        assert frontier.get("via")

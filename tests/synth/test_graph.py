@@ -5,7 +5,7 @@ from repro.lang.sorts import INT
 from repro.sygus.grammar import clia_grammar
 from repro.sygus.problem import SygusProblem, SynthFun
 from repro.synth.divide import Split
-from repro.synth.graph import SubproblemGraph
+from repro.synth.graph import SubproblemGraph, stable_node_id
 
 x, y = int_var("x"), int_var("y")
 
@@ -67,3 +67,73 @@ class TestSubproblemGraph:
         assert created and node.depth == 1
         again, created2 = graph.add_problem(_problem("b-problem", y), depth=1)
         assert not created2 and again is node
+
+
+class TestStableNodeIds:
+    """Satellite: node IDs are structural — identical across processes."""
+
+    MAX2 = """
+(set-logic LIA)
+(synth-fun max2 ((x Int) (y Int)) Int
+  ((Start Int (x y 0 1 (+ Start Start) (- Start Start)
+               (ite StartBool Start Start)))
+   (StartBool Bool ((<= Start Start) (= Start Start) (>= Start Start)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (>= (max2 x y) x))
+(constraint (>= (max2 x y) y))
+(constraint (or (= x (max2 x y)) (= y (max2 x y))))
+(check-synth)
+"""
+
+    def _graph_node_ids_in_process(self):
+        from repro import obs
+        from repro.bench.runner import make_solver
+        from repro.sygus.parser import parse_sygus_text
+
+        problem = parse_sygus_text(self.MAX2, "max2")
+        with obs.recording() as recorder:
+            make_solver("dryadsynth", 5.0).synthesize(problem)
+        return {
+            e.attrs["node"]
+            for e in recorder.events
+            if e.domain == "forensics" and e.name == "graph.node"
+        }
+
+    def test_reparsed_problem_gets_the_same_id(self):
+        from repro.sygus.parser import parse_sygus_text
+
+        first = stable_node_id(parse_sygus_text(self.MAX2, "a"))
+        second = stable_node_id(parse_sygus_text(self.MAX2, "b"))
+        assert first == second
+        assert len(first) == 12
+
+    def test_two_in_process_runs_emit_identical_node_sets(self):
+        assert (
+            self._graph_node_ids_in_process()
+            == self._graph_node_ids_in_process()
+        )
+
+    def test_process_worker_emits_the_same_node_ids(self):
+        """Thread-side and process-side runs announce the same node IDs, so
+        a parent can collate forensics from parallel workers."""
+        from repro.service.jobs import SynthesisJob
+        from repro.service.pool import WorkerPool
+
+        job = SynthesisJob(
+            problem_text=self.MAX2,
+            solver="dryadsynth",
+            timeout=5.0,
+            name="max2",
+            telemetry=True,
+        )
+        with WorkerPool(workers=1) as pool:
+            (result,) = pool.run([job])
+        assert result.status == "solved"
+        worker_ids = {
+            event["attrs"]["node"]
+            for event in result.telemetry["spans"]["events"]
+            if event.get("domain") == "forensics"
+            and event["name"] == "graph.node"
+        }
+        assert worker_ids == self._graph_node_ids_in_process()
