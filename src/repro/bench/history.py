@@ -37,6 +37,12 @@ DEFAULT_MAX_WALL_GROWTH = 0.15
 #: Below this baseline median (seconds) the wall gate is skipped: timer
 #: jitter dominates and a "regression" would be noise.
 MIN_MEDIAN_WALL = 0.01
+#: Allowed growth of serve-mode p99 submit-to-result latency (fraction).
+#: Looser than the wall gate: queueing latency under concurrent clients is
+#: inherently noisier than single-problem solver wall time.
+DEFAULT_MAX_LATENCY_GROWTH = 0.50
+#: Below this baseline p99 (seconds) the latency gate is skipped.
+MIN_LATENCY = 0.05
 
 
 def record_from_quick_bench(
@@ -67,6 +73,43 @@ def record_from_quick_bench(
         "wall_seconds": summary["wall_seconds"],
         "smt_rounds": int(summary.get("stats", {}).get("smt_rounds", 0)),
         "per_problem": per_problem,
+    }
+    if context:
+        record["context"] = dict(context)
+    return record
+
+
+def record_from_loadgen(
+    report: Dict,
+    solver: str,
+    timeout: float,
+    context: Optional[Dict] = None,
+) -> Dict:
+    """Build a serve-mode history record from a loadgen report.
+
+    Serve-mode records carry ``"mode": "serve"`` and a ``serve_latency``
+    block; :func:`compare` only gates them against other serve-mode records
+    (and batch records only against batch records), so daemon queueing
+    latency never pollutes the quick-bench wall baseline or vice versa.
+    """
+    record = {
+        "format": HISTORY_FORMAT,
+        "mode": "serve",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "solver": solver,
+        "timeout_seconds": timeout,
+        "problems": report["requests"],
+        "solved": sorted(report.get("solved", [])),
+        "wall_seconds": report["wall_seconds"],
+        "serve_latency": {
+            "p50": report["latency"]["p50"],
+            "p90": report["latency"].get("p90"),
+            "p99": report["latency"]["p99"],
+            "clients": report["clients"],
+            "requests": report["requests"],
+            "cache_hits": report.get("cache_hits", 0),
+            "shed": report.get("shed", 0),
+        },
     }
     if context:
         record["context"] = dict(context)
@@ -115,6 +158,9 @@ class Comparison:
     median_wall_baseline: Optional[float] = None
     median_wall_current: Optional[float] = None
     wall_growth: Optional[float] = None
+    latency_p99_baseline: Optional[float] = None
+    latency_p99_current: Optional[float] = None
+    latency_growth: Optional[float] = None
 
     def render(self) -> str:
         lines = []
@@ -134,6 +180,17 @@ class Comparison:
                 f"{self.median_wall_current:.4f}s vs baseline "
                 f"{self.median_wall_baseline:.4f}s ({growth})"
             )
+        if self.latency_p99_baseline is not None:
+            growth = (
+                f"{self.latency_growth * 100:+.1f}%"
+                if self.latency_growth is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  p99 submit-to-result latency: "
+                f"{self.latency_p99_current:.4f}s vs baseline "
+                f"{self.latency_p99_baseline:.4f}s ({growth})"
+            )
         if self.new_solves:
             lines.append(
                 f"  newly solved vs baseline: {', '.join(self.new_solves)}"
@@ -149,6 +206,8 @@ def compare(
     window: int = DEFAULT_WINDOW,
     max_wall_growth: float = DEFAULT_MAX_WALL_GROWTH,
     min_median_wall: float = MIN_MEDIAN_WALL,
+    max_latency_growth: float = DEFAULT_MAX_LATENCY_GROWTH,
+    min_latency: float = MIN_LATENCY,
 ) -> Comparison:
     """Gate ``record`` against the trailing baseline drawn from ``history``."""
     result = Comparison()
@@ -156,6 +215,7 @@ def compare(
         h for h in history
         if h.get("solver") == record.get("solver")
         and h.get("timeout_seconds") == record.get("timeout_seconds")
+        and h.get("mode") == record.get("mode")
     ]
     skipped = len(history) - len(comparable)
     if skipped:
@@ -216,6 +276,33 @@ def compare(
             result.notes.append(
                 "baseline median below the noise floor - wall gate skipped"
             )
+
+    # -- Serve-mode latency gate -----------------------------------------------
+    current_latency = record.get("serve_latency")
+    if current_latency and current_latency.get("p99") is not None:
+        baseline_p99s = [
+            entry["serve_latency"]["p99"]
+            for entry in trailing
+            if entry.get("serve_latency", {}).get("p99") is not None
+        ]
+        if baseline_p99s:
+            result.latency_p99_baseline = statistics.median(baseline_p99s)
+            result.latency_p99_current = float(current_latency["p99"])
+            if result.latency_p99_baseline >= min_latency:
+                result.latency_growth = (
+                    result.latency_p99_current - result.latency_p99_baseline
+                ) / result.latency_p99_baseline
+                if result.latency_growth > max_latency_growth:
+                    result.regressions.append(
+                        f"p99 submit-to-result latency growth "
+                        f"{result.latency_growth * 100:.1f}% exceeds the "
+                        f"{max_latency_growth * 100:.0f}% budget"
+                    )
+            else:
+                result.notes.append(
+                    "baseline p99 latency below the noise floor - "
+                    "latency gate skipped"
+                )
     result.ok = not result.regressions
     return result
 

@@ -8,6 +8,10 @@ the original DryadSynth binary behaves in the SyGuS competition harness.
 process-parallel job engine (:mod:`repro.service`) and emits one JSON record
 per problem — the batch/service entry point.
 
+``dryadsynth serve`` runs the long-lived synthesis daemon
+(:mod:`repro.serve`): problems over HTTP, per-client fair queues with
+priorities and backpressure, cache-first admission, graceful SIGTERM drain.
+
 ``dryadsynth profile spans.jsonl`` renders a per-phase time-attribution
 report (plus the hottest SMT queries) from a span dump produced with
 ``--spans-out`` (see :mod:`repro.obs` and docs/OBSERVABILITY.md).
@@ -198,6 +202,8 @@ def main(argv: Optional[list] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return _batch_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
     if argv and argv[0] == "postmortem":
@@ -497,12 +503,17 @@ def _start_telemetry_server(args, pool, recorder):
             metrics_fn=lambda: recorder.metrics.to_prometheus(),
             jobs_fn=pool.jobs_snapshot,
             health_extra=lambda: {"workers_alive": len(pool.worker_pids())},
-        ).start()
+        )
+        url = server.start()
     except OSError as exc:
         print(f"warning: cannot serve telemetry: {exc}", file=sys.stderr)
         return None
+    # Machine-readable discovery line: with `--serve-telemetry 0` the OS
+    # picks the port, and wrapper scripts need the bound URL on a stable,
+    # greppable line (KEY=value, nothing else on it).
+    print(f"TELEMETRY_URL={url}", file=sys.stderr, flush=True)
     print(
-        f"; serving telemetry on {server.url} "
+        f"; serving telemetry on {url} "
         "(/metrics /healthz /jobs)",
         file=sys.stderr,
     )
@@ -558,8 +569,166 @@ def _postmortem_main(argv) -> int:
     return 0
 
 
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth serve",
+        description=(
+            "Run the long-lived synthesis daemon: SyGuS problems over HTTP "
+            "(POST /v1/jobs), per-client fair queues with priorities and "
+            "backpressure, cache-first admission, warm workers, and "
+            "SIGTERM-triggered graceful drain.  The same listener serves "
+            "/metrics, /jobs and /healthz."
+        ),
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = OS-assigned; the resolved URL is "
+        "printed as a SERVE_URL= line)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of warm worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "--solver",
+        default="dryadsynth",
+        help="default solver when a submission names none "
+        f"(default: dryadsynth); any of {', '.join(SOLVER_NAMES)}",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="default per-job budget when a submission names none "
+        "(default: 10)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on queued-but-not-running jobs before submissions get "
+        "429/shedding (default: 4 per worker)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent result cache; resubmitted problems return "
+        "instantly without consuming a worker",
+    )
+    parser.add_argument(
+        "--results-out",
+        metavar="PATH",
+        default=None,
+        help="append every terminal job record to PATH as JSONL "
+        "(flushed per record; survives SIGTERM drain)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="per-job crash flight recorder journals (see "
+        "`dryadsynth postmortem`)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-job retries after a worker crash (default: 1)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record worker-side spans/metrics and merge them into the "
+        "daemon's /metrics",
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="emit structured JSON log lines (repro-log/1) to PATH, "
+        "or to stderr with '-'",
+    )
+    return parser
+
+
+def _serve_main(argv) -> int:
+    import signal
+
+    from repro import obs
+    from repro.serve import ServeSettings, SynthesisDaemon, build_server
+    from repro.service.cache import ResultCache
+
+    args = build_serve_arg_parser().parse_args(argv)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    with _json_logging(args), obs.recording():
+        settings = ServeSettings(
+            workers=args.jobs,
+            solver=args.solver,
+            timeout=args.timeout,
+            max_queue=args.max_queue,
+            cache=cache,
+            results_out=args.results_out,
+            flight_dir=args.flight_dir,
+            retries=args.retries,
+            telemetry=args.telemetry,
+        )
+        daemon = SynthesisDaemon(settings)
+        try:
+            server = build_server(daemon, port=args.port, host=args.host)
+            url = server.start()
+        except OSError as exc:
+            print(f"error: cannot bind: {exc}", file=sys.stderr)
+            daemon.stop(drain=False)
+            return 2
+        # Machine-readable discovery line (stdout, like TELEMETRY_URL= for
+        # batch): with --port 0 this is the only way scripts learn the port.
+        print(f"SERVE_URL={url}", flush=True)
+        print(
+            f"serving synthesis on {url} with {args.jobs} worker(s) "
+            f"(solver={args.solver}, timeout={args.timeout:g}s, "
+            f"max-queue={settings.max_queue}); SIGTERM drains gracefully",
+            file=sys.stderr,
+        )
+
+        def _drain_signal(signum, frame):  # noqa: ARG001 - signal API
+            print(
+                f"received {signal.Signals(signum).name}: draining "
+                "(no new admissions; finishing accepted jobs)",
+                file=sys.stderr,
+            )
+            daemon.request_drain()
+
+        signal.signal(signal.SIGTERM, _drain_signal)
+        signal.signal(signal.SIGINT, _drain_signal)
+        try:
+            while not daemon.wait_stopped(timeout=0.5):
+                pass
+        finally:
+            server.stop()
+        print(
+            f"drained: {daemon.completed} job(s) completed, "
+            f"{daemon.shed} shed, {daemon.rejected} rejected",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def build_bench_compare_arg_parser() -> argparse.ArgumentParser:
-    from repro.bench.history import DEFAULT_MAX_WALL_GROWTH, DEFAULT_WINDOW
+    from repro.bench.history import (
+        DEFAULT_MAX_LATENCY_GROWTH,
+        DEFAULT_MAX_WALL_GROWTH,
+        DEFAULT_WINDOW,
+    )
 
     parser = argparse.ArgumentParser(
         prog="dryadsynth bench-compare",
@@ -583,6 +752,14 @@ def build_bench_compare_arg_parser() -> argparse.ArgumentParser:
         help="reuse quick-bench artifacts (quick_bench.jsonl + "
         "quick_bench_summary.json) from DIR instead of re-running the "
         "demo subset",
+    )
+    parser.add_argument(
+        "--from-loadgen",
+        default=None,
+        metavar="PATH",
+        help="gate a serve-mode loadgen report (repro.serve.loadgen --out) "
+        "instead of a quick-bench run; compares only against other "
+        "serve-mode history records and applies the p99 latency gate",
     )
     parser.add_argument("--solver", default="dryadsynth")
     parser.add_argument(
@@ -609,6 +786,14 @@ def build_bench_compare_arg_parser() -> argparse.ArgumentParser:
         "(default: 0.15 = 15%%)",
     )
     parser.add_argument(
+        "--max-latency-growth",
+        type=float,
+        default=DEFAULT_MAX_LATENCY_GROWTH,
+        metavar="FRACTION",
+        help="allowed p99 submit-to-result latency growth for serve-mode "
+        "records (default: 0.5 = 50%%)",
+    )
+    parser.add_argument(
         "--append",
         action="store_true",
         help="append this run's record to the history store when it passes",
@@ -627,12 +812,24 @@ def _bench_compare_main(argv) -> int:
     from repro.bench import history as bench_history
 
     args = build_bench_compare_arg_parser().parse_args(argv)
-    if args.from_dir:
+    if args.from_loadgen:
+        try:
+            with open(args.from_loadgen) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read loadgen report: {exc}",
+                  file=sys.stderr)
+            return 2
+        record = bench_history.record_from_loadgen(
+            report, solver=args.solver, timeout=args.timeout
+        )
+    elif args.from_dir:
         try:
             result = bench_history.result_from_artifacts(args.from_dir)
         except (OSError, ValueError) as exc:
             print(f"error: cannot read artifacts: {exc}", file=sys.stderr)
             return 2
+        record = bench_history.record_from_quick_bench(result)
     else:
         from repro.bench.quick_bench import run_quick_bench
 
@@ -642,13 +839,14 @@ def _bench_compare_main(argv) -> int:
             file=sys.stderr,
         )
         result = run_quick_bench(args.solver, args.timeout)
-    record = bench_history.record_from_quick_bench(result)
+        record = bench_history.record_from_quick_bench(result)
     history = bench_history.load_history(args.against)
     comparison = bench_history.compare(
         record,
         history,
         window=args.window,
         max_wall_growth=args.max_wall_growth,
+        max_latency_growth=args.max_latency_growth,
     )
     print(comparison.render())
     if args.record_out:

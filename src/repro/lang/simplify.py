@@ -76,6 +76,11 @@ def _simplify_node(term: Term) -> Term:
             return inner.args[0]
         return term
     if kind is Kind.AND:
+        # Flatten nested conjunctions BEFORE deduping: a child rewrite
+        # (e.g. `(=> true (and X Y))` -> `(and X Y)`) can expose a nested
+        # AND whose members duplicate a sibling, and the `and_` builder
+        # would splice them in after the dedup, breaking idempotence.
+        args = _flatten(Kind.AND, args)
         if any(_const_value(a) is False for a in args):
             return false()
         kept = _dedupe(a for a in args if _const_value(a) is not True)
@@ -83,6 +88,7 @@ def _simplify_node(term: Term) -> Term:
             return false()
         return and_(*kept)
     if kind is Kind.OR:
+        args = _flatten(Kind.OR, args)
         if any(_const_value(a) is True for a in args):
             return true()
         kept = _dedupe(a for a in args if _const_value(a) is not False)
@@ -151,6 +157,16 @@ def _simplify_comparison(term: Term) -> Term:
             return bool_const(lv < rv)
         return bool_const(lv == rv)
     return term
+
+
+def _flatten(kind: Kind, args) -> list:
+    flat = []
+    for arg in args:
+        if arg.kind is kind:
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    return flat
 
 
 def _dedupe(terms) -> list:

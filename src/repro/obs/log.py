@@ -17,11 +17,13 @@ telemetry that is analysed after the fact.  It is a thin adapter over stdlib
   ``dotted.event.name`` and the payload travels as typed fields, never
   interpolated into the message.
 
-Workers inherit the handler under the ``fork`` start method; under ``spawn``
-the job carries the target path in ``params["log_json"]`` and the worker
-re-attaches idempotently (:func:`ensure_worker_logging`).  All processes
-append to the same file; each record is a single ``write()`` of one line,
-so concurrent appends interleave per-line, not mid-line.
+Workers never log through inherited handlers: forked children first scrub
+them (:func:`reset_after_fork` — an inherited stream's lock may have been
+held by another parent thread at fork time), then the job carries the
+target path in ``params["log_json"]`` and the worker re-attaches a fresh
+handler idempotently (:func:`ensure_worker_logging`), under ``spawn`` too.
+All processes append to the same file; each record is a single ``write()``
+of one line, so concurrent appends interleave per-line, not mid-line.
 """
 
 from __future__ import annotations
@@ -139,6 +141,33 @@ def remove_json_logging(
     for target, installed in list(_configured.items()):
         if installed is handler:
             del _configured[target]
+
+
+def reset_after_fork() -> None:
+    """Make logging safe inside a just-forked worker process.
+
+    CPython reinitialises *logging* locks after fork, but not the buffered
+    stream objects handlers write to: if any other parent thread was
+    mid-write at fork time, the inherited ``TextIOWrapper`` lock stays held
+    forever in the child and its first ``flush()`` deadlocks — observed as
+    a worker hanging silently until its hard deadline, then being retried.
+    A pool that forks from its scheduler thread while the daemon's
+    dispatcher (or a test harness) logs concurrently hits this for real, so
+    workers must stop using every inherited stream before their first log
+    call: detach all inherited handlers (without ``close()`` — closing
+    flushes, which is the very call that deadlocks), park a
+    :class:`~logging.NullHandler` on the ``repro`` logger so the
+    no-handler fallback never touches the inherited ``sys.stderr``
+    wrapper, and forget :data:`_configured` so
+    :func:`ensure_worker_logging` reopens the JSONL target on a fresh
+    file object with fresh locks.
+    """
+    for name in (None, "repro"):
+        logger = logging.getLogger(name)
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+    logging.getLogger("repro").addHandler(logging.NullHandler())
+    _configured.clear()
 
 
 def ensure_worker_logging(target: Optional[str]) -> None:

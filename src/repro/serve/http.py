@@ -1,0 +1,161 @@
+"""The ``/v1`` HTTP API, mounted on the telemetry server.
+
+One listener serves both planes: the synthesis API (``/v1/...``) and the
+observability endpoints ``/metrics``, ``/jobs``, ``/healthz`` that earlier
+PRs gave ``dryadsynth batch`` — an operator points their scrape config and
+their client at the same port.
+
+Routes:
+
+- ``POST /v1/jobs`` — submit a problem (JSON or raw SyGuS-IF text, see
+  :mod:`repro.serve.protocol`).  Replies ``200`` with the finished record
+  on a cache hit, ``202`` with the queued record otherwise, ``400`` on a
+  malformed submission, ``429`` + ``Retry-After`` when the queue is full
+  and nothing can be shed, ``503`` while draining.
+- ``GET /v1/jobs/<id>`` — poll one job (``?events=1`` inlines the event
+  log).
+- ``GET /v1/jobs/<id>/events`` — chunked NDJSON stream of state events;
+  closes after the terminal event.  ``?since=N`` resumes after event ``N``.
+- ``GET /v1/stats`` — daemon counters, per-client queue depths, pool and
+  cache statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from typing import Dict, Optional
+
+from repro import obs
+from repro.obs.live import TelemetryServer
+from repro.serve.daemon import SynthesisDaemon
+from repro.serve.protocol import BadRequest, parse_submission
+
+#: How long one /events chunk may wait for a fresh event before the stream
+#: emits a keepalive comment line (so idle connections are visibly alive).
+EVENT_POLL_SECONDS = 5.0
+
+
+def build_server(
+    daemon: SynthesisDaemon,
+    port: int = 0,
+    host: str = "127.0.0.1",
+) -> TelemetryServer:
+    """A telemetry server with the daemon's ``/v1`` API mounted."""
+    server = TelemetryServer(
+        port=port,
+        host=host,
+        metrics_fn=lambda: obs.metrics().to_prometheus(),
+        jobs_fn=daemon.pool.jobs_snapshot,
+        health_extra=daemon.health,
+    )
+    server.add_route("POST", "/v1/jobs", _submit_handler(daemon))
+    server.add_route(
+        "GET",
+        _route(r"/v1/jobs/(?P<serve_id>[^/]+)/events"),
+        _events_handler(daemon),
+    )
+    server.add_route(
+        "GET", _route(r"/v1/jobs/(?P<serve_id>[^/]+)"), _job_handler(daemon)
+    )
+    server.add_route("GET", "/v1/stats", _stats_handler(daemon))
+    return server
+
+
+def _route(pattern: str):
+    import re
+
+    return re.compile(pattern + r"$")
+
+
+def _query(request) -> Dict[str, str]:
+    parsed = urllib.parse.urlparse(request.path)
+    return {
+        key: values[-1]
+        for key, values in urllib.parse.parse_qs(parsed.query).items()
+    }
+
+
+def _submit_handler(daemon: SynthesisDaemon):
+    def handler(request, body: Optional[bytes]) -> None:
+        try:
+            submission = parse_submission(
+                body or b"",
+                content_type=request.headers.get("Content-Type", ""),
+                query=_query(request),
+            )
+        except BadRequest as exc:
+            TelemetryServer.reply_json(request, 400, {"error": str(exc)})
+            return
+        outcome = daemon.submit(submission)
+        if outcome.job is None:
+            headers = None
+            if outcome.retry_after is not None:
+                headers = {"Retry-After": str(outcome.retry_after)}
+            TelemetryServer.reply_json(
+                request, outcome.code, {"error": outcome.error},
+                headers=headers,
+            )
+            return
+        payload = outcome.job.view()
+        if outcome.shed_job is not None:
+            payload["displaced"] = outcome.shed_job.id
+        TelemetryServer.reply_json(request, outcome.code, payload)
+
+    return handler
+
+
+def _job_handler(daemon: SynthesisDaemon):
+    def handler(request, body, serve_id: str) -> None:
+        include_events = _query(request).get("events") in ("1", "true")
+        view = daemon.job_view(serve_id, include_events=include_events)
+        if view is None:
+            TelemetryServer.reply_json(
+                request, 404, {"error": f"no such job: {serve_id}"}
+            )
+            return
+        TelemetryServer.reply_json(request, 200, view)
+
+    return handler
+
+
+def _events_handler(daemon: SynthesisDaemon):
+    def handler(request, body, serve_id: str) -> None:
+        job = daemon.get_job(serve_id)
+        if job is None:
+            TelemetryServer.reply_json(
+                request, 404, {"error": f"no such job: {serve_id}"}
+            )
+            return
+        try:
+            since = int(_query(request).get("since", -1))
+        except ValueError:
+            TelemetryServer.reply_json(
+                request, 400, {"error": '"since" must be an integer'}
+            )
+            return
+        TelemetryServer.stream_chunks(request, _event_chunks(job, since))
+
+    return handler
+
+
+def _event_chunks(job, after_seq: int):
+    """Yield NDJSON event lines until the job's terminal event is sent."""
+    while True:
+        fresh = job.wait_events(after_seq, timeout=EVENT_POLL_SECONDS)
+        for event in fresh:
+            after_seq = event["seq"]
+            yield (json.dumps(event, sort_keys=True) + "\n").encode()
+            if event["state"] in ("done", "shed"):
+                return
+        if not fresh:
+            if job.terminal:
+                return  # terminal event already delivered in a prior chunk
+            yield b'{"keepalive": true}\n'
+
+
+def _stats_handler(daemon: SynthesisDaemon):
+    def handler(request, body) -> None:
+        TelemetryServer.reply_json(request, 200, daemon.stats())
+
+    return handler

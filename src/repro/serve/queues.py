@@ -1,0 +1,169 @@
+"""Per-client queues under a weighted-round-robin fair scheduler.
+
+Multi-tenant admission needs two orthogonal orders:
+
+- **across clients** — weighted round-robin, so one client flooding the
+  daemon cannot starve the others; a client with weight *w* is served *w*
+  consecutive entries each time its turn comes around, then the rotation
+  moves on (classic WRR, deterministic and O(1) per pop);
+- **within a client** — priority (higher first), FIFO among equals, so a
+  tenant can expedite its own urgent jobs without touching anyone else's
+  share.
+
+The scheduler additionally supports **load shedding**: when the daemon's
+bounded queue is full and a higher-priority submission arrives,
+:meth:`FairScheduler.shed_lowest` evicts the globally lowest-priority entry
+(the most recently arrived among ties, so early submitters keep their
+place).  The scheduler itself is not thread-safe; the daemon serializes
+access under its own lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Dict, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class _ClientQueue(Generic[T]):
+    """One client's priority queue plus its WRR bookkeeping."""
+
+    __slots__ = ("name", "weight", "credit", "heap", "live")
+
+    def __init__(self, name: str, weight: int) -> None:
+        self.name = name
+        self.weight = max(1, weight)
+        self.credit = 0
+        #: Heap of ``(-priority, seq, entry)`` — highest priority first,
+        #: FIFO within a priority level.  Shed entries are marked dead and
+        #: skipped lazily on pop.
+        self.heap: List[list] = []
+        self.live = 0
+
+    def push(self, entry: "QueueEntry[T]") -> None:
+        heapq.heappush(self.heap, [-entry.priority, entry.seq, entry])
+        self.live += 1
+
+    def pop(self) -> Optional["QueueEntry[T]"]:
+        while self.heap:
+            _, _, entry = heapq.heappop(self.heap)
+            if entry.dead:
+                continue
+            self.live -= 1
+            return entry
+        return None
+
+
+class QueueEntry(Generic[T]):
+    """One queued item: payload plus its scheduling coordinates."""
+
+    __slots__ = ("item", "client", "priority", "seq", "dead")
+
+    def __init__(self, item: T, client: str, priority: int, seq: int) -> None:
+        self.item = item
+        self.client = client
+        self.priority = priority
+        self.seq = seq
+        self.dead = False
+
+
+class FairScheduler(Generic[T]):
+    """Weighted round-robin across per-client priority queues."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, _ClientQueue[T]] = {}
+        self._rotation: deque = deque()
+        self._seq = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(
+        self,
+        item: T,
+        client: str = "default",
+        priority: int = 0,
+        weight: int = 1,
+    ) -> QueueEntry[T]:
+        """Enqueue ``item`` for ``client``; returns its entry handle.
+
+        ``weight`` updates the client's WRR share (last submission wins —
+        a client's weight is its own knob, not a per-job property).
+        """
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = _ClientQueue(client, weight)
+        else:
+            queue.weight = max(1, weight)
+        entry = QueueEntry(item, client, priority, next(self._seq))
+        was_empty = queue.live == 0
+        queue.push(entry)
+        self._size += 1
+        if was_empty:
+            queue.credit = queue.weight
+            self._rotation.append(client)
+        return entry
+
+    def pop(self) -> Optional[QueueEntry[T]]:
+        """Dequeue the next entry in WRR order (``None`` when empty)."""
+        while self._rotation:
+            name = self._rotation[0]
+            queue = self._queues[name]
+            if queue.live == 0:
+                self._rotation.popleft()
+                continue
+            entry = queue.pop()
+            assert entry is not None
+            self._size -= 1
+            queue.credit -= 1
+            if queue.live == 0:
+                self._rotation.popleft()
+            elif queue.credit <= 0:
+                queue.credit = queue.weight
+                self._rotation.rotate(-1)
+            return entry
+        return None
+
+    def lowest(self) -> Optional[QueueEntry[T]]:
+        """The globally lowest-priority entry (newest among ties)."""
+        worst: Optional[QueueEntry[T]] = None
+        for queue in self._queues.values():
+            for _, _, entry in queue.heap:
+                if entry.dead:
+                    continue
+                if worst is None or (entry.priority, -entry.seq) < (
+                    worst.priority, -worst.seq
+                ):
+                    worst = entry
+        return worst
+
+    def remove(self, entry: QueueEntry[T]) -> bool:
+        """Drop a queued entry (the shed path); returns whether it was live."""
+        if entry.dead:
+            return False
+        entry.dead = True
+        queue = self._queues.get(entry.client)
+        if queue is not None:
+            queue.live -= 1
+        self._size -= 1
+        return True
+
+    def shed_lowest(self, below_priority: int) -> Optional[QueueEntry[T]]:
+        """Evict the lowest-priority entry if strictly below the given bar."""
+        worst = self.lowest()
+        if worst is None or worst.priority >= below_priority:
+            return None
+        self.remove(worst)
+        return worst
+
+    def depths(self) -> Dict[str, int]:
+        """Live queue depth per client (for ``/v1/stats``)."""
+        return {
+            name: queue.live
+            for name, queue in sorted(self._queues.items())
+            if queue.live
+        }

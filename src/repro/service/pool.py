@@ -13,9 +13,20 @@ Design constraints (why this is not ``concurrent.futures``):
   for the *same* logical question (portfolio members, height workers) and
   terminates the losers the moment one solves — the paper's Section 5.1
   semantics, but across processes instead of GIL-bound threads.
-- **Bounded queue + fingerprint cache.**  Jobs are admitted at most
-  ``queue_size`` at a time, and a :class:`~repro.service.cache.ResultCache`
-  short-circuits jobs whose fingerprint already has a terminal result.
+- **Streaming submission.**  The scheduler is a long-lived service thread;
+  :meth:`WorkerPool.submit` hands it one job at a time and returns a
+  :class:`PoolTicket` immediately, which is what a long-lived daemon
+  (:mod:`repro.serve`) needs.  :meth:`run` and :meth:`race` are thin batch
+  conveniences on top of the same core, so the CLI batch path and the
+  service path exercise identical scheduling code.
+- **Warm workers.**  Worker processes persist across jobs *and* across
+  ``run()``/``submit()`` calls until :meth:`close`; a daemon that keeps one
+  pool alive amortizes interpreter start-up and module imports over its
+  whole lifetime instead of respawning per job.
+- **Bounded queue + fingerprint cache.**  ``queue_size`` is the advertised
+  admission bound (:meth:`saturated` — the daemon's backpressure signal),
+  and a :class:`~repro.service.cache.ResultCache` short-circuits jobs whose
+  fingerprint already has a terminal result.
 """
 
 from __future__ import annotations
@@ -46,6 +57,10 @@ from repro.service.jobs import (
 
 ProgressFn = Callable[[JobResult], None]
 
+#: Default cap on the live ``/jobs`` view: completed entries beyond this are
+#: evicted oldest-first so a long-lived daemon never leaks job state.
+DEFAULT_LIVE_CAP = 10_000
+
 
 class PoolError(RuntimeError):
     """The pool was used after :meth:`WorkerPool.close`."""
@@ -58,6 +73,13 @@ def _worker_main(conn) -> None:
     only ways a worker stops replying are a hard crash or a hang — both are
     the parent's responsibility.
     """
+    from repro.obs.log import reset_after_fork
+
+    # Under ``fork`` the parent is multi-threaded (pool scheduler, daemon
+    # dispatcher, HTTP threads); inherited handler streams may carry locks
+    # another thread held at fork time, deadlocking this worker's first
+    # log flush.  Rebuild logging before anything below can emit.
+    reset_after_fork()
     while True:
         try:
             job = conn.recv()
@@ -74,7 +96,8 @@ def _worker_main(conn) -> None:
 class _Worker:
     """One worker process plus its parent-side pipe end and assignment."""
 
-    __slots__ = ("process", "conn", "slot", "assigned_at", "deadline")
+    __slots__ = ("process", "conn", "slot", "assigned_at", "deadline",
+                 "jobs_done")
 
     def __init__(self, ctx) -> None:
         parent_conn, child_conn = ctx.Pipe()
@@ -82,19 +105,22 @@ class _Worker:
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
-        self.slot: Optional[Tuple[int, SynthesisJob]] = None
+        self.slot: Optional["PoolTicket"] = None
         self.assigned_at = 0.0
         self.deadline: Optional[float] = None
+        #: Jobs this process has executed — the warm-reuse evidence the
+        #: daemon's ``/v1/stats`` reports (spawns ≪ jobs when reuse works).
+        self.jobs_done = 0
 
     @property
     def busy(self) -> bool:
         return self.slot is not None
 
-    def assign(self, index: int, job: SynthesisJob) -> None:
-        self.conn.send(job)
-        self.slot = (index, job)
+    def assign(self, ticket: "PoolTicket") -> None:
+        self.conn.send(ticket.job)
+        self.slot = ticket
         self.assigned_at = time.monotonic()
-        hard = job.effective_hard_timeout
+        hard = ticket.job.effective_hard_timeout
         self.deadline = self.assigned_at + hard if hard is not None else None
 
     def clear(self) -> None:
@@ -112,11 +138,64 @@ class _Worker:
         self.conn.close()
 
 
+class RaceGroup:
+    """Shared token linking racers: the first solve cancels the rest."""
+
+    __slots__ = ("won",)
+
+    def __init__(self) -> None:
+        self.won = False
+
+
+class PoolTicket:
+    """Handle for one submitted job; completed by the scheduler thread."""
+
+    __slots__ = (
+        "job", "group", "on_complete", "on_assign", "attempts", "failures",
+        "postmortem", "submitted_at", "queue_wait", "result", "cancelled",
+        "cache_checked", "_done",
+    )
+
+    def __init__(
+        self,
+        job: SynthesisJob,
+        group: Optional[RaceGroup] = None,
+        on_complete: Optional[ProgressFn] = None,
+        on_assign: Optional[Callable[[SynthesisJob], None]] = None,
+    ) -> None:
+        self.job = job
+        self.group = group
+        self.on_complete = on_complete
+        self.on_assign = on_assign
+        self.attempts = 0
+        self.failures: List[str] = []
+        self.postmortem: Optional[Dict] = None
+        self.submitted_at = time.monotonic()
+        self.queue_wait = 0.0
+        self.result: Optional[JobResult] = None
+        #: Set (by the owner, e.g. the daemon shedding load) to cancel the
+        #: ticket before assignment; the scheduler turns it into a
+        #: ``cancelled`` result at admission time.
+        self.cancelled = False
+        self.cache_checked = False
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[JobResult]:
+        """Block until the job completes; returns the result (or ``None``)."""
+        self._done.wait(timeout)
+        return self.result
+
+
 class WorkerPool:
     """Process pool executing :class:`SynthesisJob`\\ s with hard deadlines.
 
-    Usable as a context manager; :meth:`run` and :meth:`race` may be called
-    repeatedly until :meth:`close`.
+    Usable as a context manager; :meth:`submit`, :meth:`run` and
+    :meth:`race` may be called repeatedly (from any thread) until
+    :meth:`close`.
     """
 
     def __init__(
@@ -129,6 +208,8 @@ class WorkerPool:
         start_method: Optional[str] = None,
         poll_interval: float = 0.05,
         flight_dir: Optional[str] = None,
+        live_cap: int = DEFAULT_LIVE_CAP,
+        live_ttl: Optional[float] = None,
     ) -> None:
         self.size = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.max_retries = max(0, max_retries)
@@ -143,8 +224,13 @@ class WorkerPool:
         if flight_dir is not None:
             os.makedirs(flight_dir, exist_ok=True)
         #: Live per-job state for the ``/jobs`` telemetry endpoint, keyed by
-        #: job id.  Mutated by the scheduler loop (main thread), snapshotted
-        #: by the HTTP server thread — hence the lock.
+        #: job id.  Mutated by the scheduler thread, snapshotted by the HTTP
+        #: server thread — hence the lock.  Completed entries are evicted
+        #: beyond ``live_cap`` (oldest first) and past ``live_ttl`` seconds,
+        #: so a long-lived daemon keeps a bounded recent-history view
+        #: instead of accumulating every job it ever ran.
+        self.live_cap = max(1, live_cap)
+        self.live_ttl = live_ttl
         self._live: Dict[str, Dict] = {}
         self._live_lock = threading.Lock()
         method = start_method or os.environ.get("REPRO_SERVICE_START_METHOD")
@@ -156,8 +242,20 @@ class WorkerPool:
         self._workers: List[_Worker] = []
         self._closed = False
         self._job_seq = 0
+        #: Cumulative counters backing the daemon's warm-reuse statistics.
+        self.workers_spawned = 0
+        self.jobs_dispatched = 0
+        # Submission plumbing: tickets flow through ``_inbox`` to the
+        # scheduler thread; ``_wake_w`` interrupts its connection poll so a
+        # submit is picked up immediately instead of after ``poll_interval``.
+        self._inbox: deque = deque()
+        self._cond = threading.Condition()
+        self._service: Optional[threading.Thread] = None
+        self._stopping = False
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
 
-    # -- Introspection (used by tests to simulate worker death) ----------------
+    # -- Introspection ----------------------------------------------------------
 
     def worker_pids(self) -> List[int]:
         return [
@@ -165,6 +263,28 @@ class WorkerPool:
             for w in self._workers
             if w.process.pid is not None and w.process.is_alive()
         ]
+
+    def backlog(self) -> int:
+        """Jobs admitted but not yet completed (queued + running)."""
+        with self._cond:
+            queued = len(self._inbox)
+        return queued + sum(1 for w in self._workers if w.busy)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the bounded queue is full (the backpressure signal)."""
+        return self.backlog() >= self.queue_size
+
+    def pool_stats(self) -> Dict:
+        """Warm-reuse and dispatch counters for the daemon's ``/v1/stats``."""
+        return {
+            "workers": self.size,
+            "workers_alive": len(self.worker_pids()),
+            "workers_spawned": self.workers_spawned,
+            "jobs_dispatched": self.jobs_dispatched,
+            "backlog": self.backlog(),
+            "queue_size": self.queue_size,
+        }
 
     # -- Live job view (the `/jobs` telemetry endpoint's provider) --------------
 
@@ -182,6 +302,7 @@ class WorkerPool:
         for state in states:
             deadline = state.pop("_deadline", None)
             assigned_at = state.pop("_assigned_at", None)
+            state.pop("_done_at", None)
             running = state.get("state") == "running"
             state["deadline_in"] = (
                 round(deadline - now, 3) if running and deadline is not None
@@ -198,13 +319,7 @@ class WorkerPool:
         with self._live_lock:
             state = self._live.get(job.job_id)
             if state is None:
-                if len(self._live) > 10_000:
-                    # Long-lived pools (portfolio races) must not grow the
-                    # view without bound: drop the oldest finished entries.
-                    done = [k for k, s in self._live.items()
-                            if s.get("state") == "done"]
-                    for key in done[: len(done) // 2]:
-                        del self._live[key]
+                self._evict_live_locked(time.monotonic())
                 state = self._live[job.job_id] = {
                     "job_id": job.job_id,
                     "name": job.name,
@@ -216,8 +331,60 @@ class WorkerPool:
                     "worker_pid": None,
                 }
             state.update(fields)
+            # A batch submitted up front inserts every entry as "queued"
+            # before anything completes, so eviction must also run on the
+            # done transition — not only on insert — for the view to stay
+            # bounded while jobs finish.
+            if "_done_at" in fields:
+                self._evict_live_locked(time.monotonic())
+
+    def _evict_live_locked(self, now: float) -> None:
+        """Bound the live view: TTL-expire and cap completed entries."""
+        if self.live_ttl is not None:
+            expired = [
+                key for key, state in self._live.items()
+                if state.get("state") == "done"
+                and now - state.get("_done_at", now) > self.live_ttl
+            ]
+            for key in expired:
+                del self._live[key]
+        overflow = len(self._live) + 1 - self.live_cap
+        if overflow > 0:
+            done = [key for key, state in self._live.items()
+                    if state.get("state") == "done"]
+            for key in done[:overflow]:
+                del self._live[key]
 
     # -- Public API -------------------------------------------------------------
+
+    def submit(
+        self,
+        job: SynthesisJob,
+        on_complete: Optional[ProgressFn] = None,
+        group: Optional[RaceGroup] = None,
+        on_assign: Optional[Callable[[SynthesisJob], None]] = None,
+    ) -> PoolTicket:
+        """Queue one job and return a ticket; never blocks on execution.
+
+        ``on_complete`` (and ``on_assign``) run on the scheduler thread with
+        no pool locks held, so they may call back into the pool.  Jobs in
+        the same :class:`RaceGroup` race: the first ``solved`` result
+        cancels the rest.
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        with self._cond:
+            if not job.job_id:
+                self._job_seq += 1
+                job.job_id = f"job-{self._job_seq}"
+            ticket = PoolTicket(job, group=group, on_complete=on_complete,
+                                on_assign=on_assign)
+            self._inbox.append(ticket)
+            self._ensure_service_locked()
+            self._cond.notify_all()
+        self._live_update(job)
+        self._wake()
+        return ticket
 
     def run(
         self,
@@ -225,7 +392,8 @@ class WorkerPool:
         progress: Optional[ProgressFn] = None,
     ) -> List[JobResult]:
         """Execute every job; results come back in submission order."""
-        return self._execute(list(jobs), stop_on_first_solved=False, progress=progress)
+        tickets = [self.submit(job, on_complete=progress) for job in jobs]
+        return self._wait_all(tickets)
 
     def race(
         self,
@@ -237,12 +405,31 @@ class WorkerPool:
         Returns ``(winner, results)``; ``winner`` is ``None`` when nobody
         solved.  Losing racers get ``cancelled`` results.
         """
-        results = self._execute(list(jobs), stop_on_first_solved=True, progress=progress)
+        group = RaceGroup()
+        tickets = [
+            self.submit(job, on_complete=progress, group=group) for job in jobs
+        ]
+        results = self._wait_all(tickets)
         winner = next((r for r in results if r.status == SOLVED), None)
         return winner, results
 
     def close(self) -> None:
-        """Graceful shutdown: idle workers get the sentinel, busy ones SIGTERM."""
+        """Shut down: cancel queued work, stop the scheduler, reap workers."""
+        with self._cond:
+            self._closed = True
+            self._stopping = True
+            self._cond.notify_all()
+        self._wake()
+        if self._service is not None:
+            self._service.join(timeout=30.0)
+            self._service = None
+        if self._wake_r is not None:
+            for fd in (self._wake_r, self._wake_w):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            self._wake_r = self._wake_w = None
         for worker in self._workers:
             if not worker.busy:
                 try:
@@ -259,7 +446,6 @@ class WorkerPool:
                 else:
                     worker.conn.close()
         self._workers = []
-        self._closed = True
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -267,239 +453,314 @@ class WorkerPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- Scheduler --------------------------------------------------------------
+    # -- Waiting ----------------------------------------------------------------
 
-    def _execute(
-        self,
-        jobs: List[SynthesisJob],
-        stop_on_first_solved: bool,
-        progress: Optional[ProgressFn],
-    ) -> List[JobResult]:
-        if self._closed:
-            raise PoolError("pool is closed")
-        for job in jobs:
-            if not job.job_id:
-                self._job_seq += 1
-                job.job_id = f"job-{self._job_seq}"
-            self._live_update(job)
-
-        pending: deque = deque()
-        feed = iter(enumerate(jobs))
-        feed_done = False
-        completed: Dict[int, JobResult] = {}
-        attempts: Dict[int, int] = {}
-        failures: Dict[int, List[str]] = {}
-        #: Flight-recorder recoveries from failed attempts, by job index.
-        postmortems: Dict[int, Dict] = {}
-        #: Per-index queue wait: submission (= this call) to the assignment
-        #: that produced the final result (or to the cache short-circuit).
-        queue_waits: Dict[int, float] = {}
-        submitted_at = time.monotonic()
-        cancelling = False
-
-        def complete(index: int, job: SynthesisJob, result: JobResult) -> None:
-            nonlocal cancelling
-            result.attempts = attempts.get(index, result.attempts)
-            result.failures = failures.get(index, []) or result.failures
-            result.queue_wait = round(queue_waits.get(index, 0.0), 4)
-            if result.postmortem is None and index in postmortems:
-                result.postmortem = postmortems[index]
-            completed[index] = result
-            self._live_update(
-                job, state="done", status=result.status, worker_pid=None,
-                queue_wait=result.queue_wait,
-            )
-            jlog(
-                logger, "job.completed",
-                job_id=job.job_id, problem=job.name, status=result.status,
-                wall=round(result.wall_time, 4),
-                queue_wait=result.queue_wait,
-                attempts=result.attempts, from_cache=result.from_cache,
-            )
-            if self.cache is not None and not result.from_cache:
-                self.cache.put(job.fingerprint(), result)
-            registry = obs.metrics()
-            registry.counter("pool.jobs_completed").inc()
-            registry.counter(f"pool.status.{result.status}").inc()
-            registry.histogram("pool.queue_wait_seconds").observe(
-                result.queue_wait
-            )
-            if result.telemetry is not None and not result.from_cache:
-                obs.merge_job_telemetry(
-                    result.telemetry,
-                    name=result.name,
-                    status=result.status,
-                    wall_time=result.wall_time,
-                )
-            if progress is not None:
-                progress(result)
-            if stop_on_first_solved and result.status == SOLVED:
-                cancelling = True
-
-        def recover_postmortem(index: int, job: SynthesisJob) -> None:
-            """Salvage the flight journal a failed attempt left behind."""
-            if not job.flight_journal:
-                return
-            from repro.obs.flight import read_postmortem
-
-            postmortem = read_postmortem(job.flight_journal)
-            if postmortem is not None:
-                postmortems[index] = postmortem
-                obs.metrics().counter("pool.postmortems_recovered").inc()
-
-        def fail_attempt(worker: _Worker, reason: str, status: str) -> None:
-            """A worker crashed/hung on its job: retire it, retry or record."""
-            index, job = worker.slot  # type: ignore[misc]
-            elapsed = time.monotonic() - worker.assigned_at
-            worker.clear()
-            self._retire(worker)
-            failures.setdefault(index, []).append(reason)
-            recover_postmortem(index, job)
-            will_retry = attempts[index] <= self.max_retries
-            jlog(
-                logger, "job.attempt_failed",
-                job_id=job.job_id, problem=job.name, reason=reason,
-                attempt=attempts[index], will_retry=will_retry,
-                postmortem=index in postmortems,
-            )
-            if will_retry:
-                self._live_update(job, state="retrying", worker_pid=None)
-                pending.appendleft((index, job))
-                return
-            complete(
-                index,
-                job,
-                JobResult(
-                    job.job_id, job.name, job.solver, status,
-                    wall_time=round(elapsed, 4), error=reason,
-                ),
-            )
-
-        while len(completed) < len(jobs):
-            if cancelling:
-                self._cancel_remaining(
-                    jobs, pending, feed, feed_done, completed, progress,
-                    queue_waits,
-                )
-                break
-
-            while not feed_done and len(pending) < self.queue_size:
-                try:
-                    pending.append(next(feed))
-                except StopIteration:
-                    feed_done = True
-
-            # Assign work: cache hits complete immediately without a worker.
-            while pending and not cancelling:
-                index, job = pending[0]
-                if attempts.get(index, 0) == 0 and self.cache is not None:
-                    hit = self.cache.get(job.fingerprint())
-                    if hit is not None:
-                        pending.popleft()
-                        result = JobResult.from_json(hit.to_json())
-                        result.job_id = job.job_id
-                        result.name = job.name
-                        result.from_cache = True
-                        # A cached record's telemetry describes the original
-                        # run, not this batch: don't re-merge it.
-                        result.telemetry = None
-                        queue_waits[index] = time.monotonic() - submitted_at
-                        complete(index, job, result)
-                        continue
-                worker = self._idle_worker()
-                if worker is None:
-                    break
-                pending.popleft()
-                attempts[index] = attempts.get(index, 0) + 1
-                if self.flight_dir is not None:
-                    job.flight_journal = os.path.join(
-                        self.flight_dir,
-                        f"{_safe_name(job.job_id)}"
-                        f"-attempt{attempts[index]}.flight.jsonl",
+    def _wait_all(self, tickets: List[PoolTicket]) -> List[JobResult]:
+        results: List[JobResult] = []
+        for ticket in tickets:
+            while not ticket._done.wait(timeout=0.5):
+                service = self._service
+                if service is None or not service.is_alive():
+                    raise PoolError(
+                        "pool scheduler died with jobs outstanding"
                     )
-                worker.assign(index, job)
-                queue_waits[index] = worker.assigned_at - submitted_at
-                self._live_update(
-                    job, state="running", attempts=attempts[index],
-                    worker_pid=worker.process.pid,
-                    queue_wait=round(queue_waits[index], 4),
-                    _deadline=worker.deadline,
-                    _assigned_at=worker.assigned_at,
-                )
-                jlog(
-                    logger, "job.assigned",
-                    job_id=job.job_id, problem=job.name,
-                    worker_pid=worker.process.pid, attempt=attempts[index],
-                )
-            registry = obs.metrics()
-            registry.gauge("pool.workers_alive").set(len(self._workers))
-            registry.gauge("pool.jobs_queued").set(float(len(pending)))
-            registry.gauge("pool.jobs_running").set(
-                float(sum(1 for w in self._workers if w.busy))
-            )
-            if cancelling or len(completed) >= len(jobs):
-                continue
+        for ticket in tickets:
+            assert ticket.result is not None
+            results.append(ticket.result)
+        return results
 
-            busy = [w for w in self._workers if w.busy]
-            if not busy:
-                continue
-            ready = _conn_wait([w.conn for w in busy], timeout=self.poll_interval)
-            now = time.monotonic()
-            for worker in busy:
-                if not worker.busy:
+    # -- Scheduler (everything below runs on the service thread) ----------------
+
+    def _ensure_service_locked(self) -> None:
+        if self._service is None or not self._service.is_alive():
+            self._service = threading.Thread(
+                target=self._service_loop,
+                name="repro-pool-scheduler",
+                daemon=True,
+            )
+            self._service.start()
+
+    def _wake(self) -> None:
+        if self._wake_w is None:
+            return
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    def _drain_wake_pipe(self) -> None:
+        if self._wake_r is None:
+            return
+        try:
+            os.read(self._wake_r, 4096)
+        except (BlockingIOError, OSError):
+            pass
+
+    def _service_loop(self) -> None:
+        try:
+            while True:
+                if self._stopping:
+                    self._shutdown_pending()
+                    return
+                self._admit()
+                registry = obs.metrics()
+                registry.gauge("pool.workers_alive").set(len(self._workers))
+                with self._cond:
+                    queued = len(self._inbox)
+                registry.gauge("pool.jobs_queued").set(float(queued))
+                busy = [w for w in self._workers if w.busy]
+                registry.gauge("pool.jobs_running").set(float(len(busy)))
+                if not busy:
+                    with self._cond:
+                        if not self._inbox and not self._stopping:
+                            self._cond.wait(timeout=self.poll_interval)
+                    self._drain_wake_pipe()
                     continue
-                if worker.conn in ready:
-                    try:
-                        result = worker.conn.recv()
-                    except (EOFError, OSError):
-                        fail_attempt(
+                ready = _conn_wait(
+                    [w.conn for w in busy] + [self._wake_r],
+                    timeout=self.poll_interval,
+                )
+                if self._wake_r in ready:
+                    self._drain_wake_pipe()
+                now = time.monotonic()
+                for worker in busy:
+                    if not worker.busy:
+                        continue
+                    if worker.conn in ready:
+                        self._collect(worker)
+                    elif not worker.process.is_alive():
+                        self._fail_attempt(
                             worker,
-                            "crashed: worker pipe closed mid-job",
+                            "crashed: worker exited with code "
+                            f"{worker.process.exitcode}",
                             CRASHED,
                         )
-                        continue
-                    index, job = worker.slot  # type: ignore[misc]
-                    worker.clear()
-                    if result.status == CRASHED:
-                        # In-process failure: the worker survives, the job is
-                        # retried like any other crash.  Its journal stays on
-                        # disk and feeds the post-mortem.
-                        failures.setdefault(index, []).append(
-                            f"crashed: {result.error}"
+                    elif worker.deadline is not None and now > worker.deadline:
+                        self._fail_attempt(
+                            worker,
+                            "timeout: exceeded hard deadline of "
+                            f"{job_hard_timeout(worker):.3g}s",
+                            TIMEOUT,
                         )
-                        recover_postmortem(index, job)
-                        if attempts[index] <= self.max_retries:
-                            self._live_update(
-                                job, state="retrying", worker_pid=None
-                            )
-                            pending.appendleft((index, job))
-                        else:
-                            complete(index, job, result)
-                    else:
-                        # Clean completion: the flight journal served its
-                        # purpose and would only accumulate on disk.
-                        if job.flight_journal:
-                            try:
-                                os.unlink(job.flight_journal)
-                            except OSError:
-                                pass
-                        complete(index, job, result)
-                elif not worker.process.is_alive():
-                    fail_attempt(
-                        worker,
-                        "crashed: worker exited with code "
-                        f"{worker.process.exitcode}",
-                        CRASHED,
-                    )
-                elif worker.deadline is not None and now > worker.deadline:
-                    fail_attempt(
-                        worker,
-                        "timeout: exceeded hard deadline of "
-                        f"{job_hard_timeout(worker):.3g}s",
-                        TIMEOUT,
-                    )
+        except Exception:  # noqa: BLE001 - scheduler must not die silently
+            logger.exception("pool scheduler crashed")
+            raise
 
-        return [completed[i] for i in range(len(jobs))]
+    def _admit(self) -> None:
+        """Drain the inbox: cancellations, cache hits, then assignments."""
+        while True:
+            with self._cond:
+                if not self._inbox:
+                    return
+                ticket = self._inbox.popleft()
+            if ticket.cancelled or (ticket.group is not None
+                                    and ticket.group.won):
+                self._complete_cancelled(ticket)
+                continue
+            if (not ticket.cache_checked and ticket.attempts == 0
+                    and self.cache is not None):
+                ticket.cache_checked = True
+                hit = self.cache.get(ticket.job.fingerprint())
+                if hit is not None:
+                    job = ticket.job
+                    result = JobResult.from_json(hit.to_json())
+                    result.job_id = job.job_id
+                    result.name = job.name
+                    result.from_cache = True
+                    # A cached record's telemetry describes the original
+                    # run, not this one: don't re-merge it.
+                    result.telemetry = None
+                    ticket.queue_wait = time.monotonic() - ticket.submitted_at
+                    self._complete(ticket, result)
+                    continue
+            worker = self._idle_worker()
+            if worker is None:
+                with self._cond:
+                    self._inbox.appendleft(ticket)
+                return
+            self._assign(worker, ticket)
+
+    def _assign(self, worker: _Worker, ticket: PoolTicket) -> None:
+        job = ticket.job
+        ticket.attempts += 1
+        if self.flight_dir is not None:
+            job.flight_journal = os.path.join(
+                self.flight_dir,
+                f"{_safe_name(job.job_id)}"
+                f"-attempt{ticket.attempts}.flight.jsonl",
+            )
+        worker.assign(ticket)
+        self.jobs_dispatched += 1
+        ticket.queue_wait = worker.assigned_at - ticket.submitted_at
+        self._live_update(
+            job, state="running", attempts=ticket.attempts,
+            worker_pid=worker.process.pid,
+            queue_wait=round(ticket.queue_wait, 4),
+            _deadline=worker.deadline,
+            _assigned_at=worker.assigned_at,
+        )
+        jlog(
+            logger, "job.assigned",
+            job_id=job.job_id, problem=job.name,
+            worker_pid=worker.process.pid, attempt=ticket.attempts,
+        )
+        if ticket.on_assign is not None:
+            ticket.on_assign(job)
+
+    def _collect(self, worker: _Worker) -> None:
+        """A busy worker's pipe is readable: reap its result (or its death)."""
+        try:
+            result = worker.conn.recv()
+        except (EOFError, OSError):
+            self._fail_attempt(
+                worker, "crashed: worker pipe closed mid-job", CRASHED
+            )
+            return
+        ticket = worker.slot
+        assert ticket is not None
+        worker.clear()
+        worker.jobs_done += 1
+        job = ticket.job
+        if result.status == CRASHED:
+            # In-process failure: the worker survives, the job is retried
+            # like any other crash.  Its journal stays on disk and feeds
+            # the post-mortem.
+            ticket.failures.append(f"crashed: {result.error}")
+            self._recover_postmortem(ticket)
+            if ticket.attempts <= self.max_retries:
+                self._live_update(job, state="retrying", worker_pid=None)
+                with self._cond:
+                    self._inbox.appendleft(ticket)
+            else:
+                self._complete(ticket, result)
+        else:
+            # Clean completion: the flight journal served its purpose and
+            # would only accumulate on disk.
+            if job.flight_journal:
+                try:
+                    os.unlink(job.flight_journal)
+                except OSError:
+                    pass
+            self._complete(ticket, result)
+
+    def _fail_attempt(self, worker: _Worker, reason: str, status: str) -> None:
+        """A worker crashed/hung on its job: retire it, retry or record."""
+        ticket = worker.slot
+        assert ticket is not None
+        job = ticket.job
+        elapsed = time.monotonic() - worker.assigned_at
+        worker.clear()
+        self._retire(worker)
+        ticket.failures.append(reason)
+        self._recover_postmortem(ticket)
+        will_retry = ticket.attempts <= self.max_retries
+        jlog(
+            logger, "job.attempt_failed",
+            job_id=job.job_id, problem=job.name, reason=reason,
+            attempt=ticket.attempts, will_retry=will_retry,
+            postmortem=ticket.postmortem is not None,
+        )
+        if will_retry:
+            self._live_update(job, state="retrying", worker_pid=None)
+            with self._cond:
+                self._inbox.appendleft(ticket)
+            return
+        self._complete(
+            ticket,
+            JobResult(
+                job.job_id, job.name, job.solver, status,
+                wall_time=round(elapsed, 4), error=reason,
+            ),
+        )
+
+    def _recover_postmortem(self, ticket: PoolTicket) -> None:
+        """Salvage the flight journal a failed attempt left behind."""
+        if not ticket.job.flight_journal:
+            return
+        from repro.obs.flight import read_postmortem
+
+        postmortem = read_postmortem(ticket.job.flight_journal)
+        if postmortem is not None:
+            ticket.postmortem = postmortem
+            obs.metrics().counter("pool.postmortems_recovered").inc()
+
+    def _complete(self, ticket: PoolTicket, result: JobResult) -> None:
+        job = ticket.job
+        result.attempts = ticket.attempts or result.attempts
+        result.failures = ticket.failures or result.failures
+        result.queue_wait = round(ticket.queue_wait, 4)
+        if result.postmortem is None and ticket.postmortem is not None:
+            result.postmortem = ticket.postmortem
+        self._live_update(
+            job, state="done", status=result.status, worker_pid=None,
+            queue_wait=result.queue_wait, _done_at=time.monotonic(),
+        )
+        jlog(
+            logger, "job.completed",
+            job_id=job.job_id, problem=job.name, status=result.status,
+            wall=round(result.wall_time, 4),
+            queue_wait=result.queue_wait,
+            attempts=result.attempts, from_cache=result.from_cache,
+        )
+        if self.cache is not None and not result.from_cache:
+            self.cache.put(job.fingerprint(), result)
+        registry = obs.metrics()
+        registry.counter("pool.jobs_completed").inc()
+        registry.counter(f"pool.status.{result.status}").inc()
+        registry.histogram("pool.queue_wait_seconds").observe(
+            result.queue_wait
+        )
+        if result.telemetry is not None and not result.from_cache:
+            obs.merge_job_telemetry(
+                result.telemetry,
+                name=result.name,
+                status=result.status,
+                wall_time=result.wall_time,
+            )
+        self._finish(ticket, result)
+        if (ticket.group is not None and result.status == SOLVED
+                and not ticket.group.won):
+            ticket.group.won = True
+            self._cancel_group(ticket.group)
+
+    def _complete_cancelled(self, ticket: PoolTicket) -> None:
+        job = ticket.job
+        result = _cancelled(job)
+        result.queue_wait = round(ticket.queue_wait, 4)
+        self._live_update(job, state="done", status=CANCELLED,
+                          worker_pid=None, _done_at=time.monotonic())
+        self._finish(ticket, result)
+
+    def _finish(self, ticket: PoolTicket, result: JobResult) -> None:
+        """Publish the result (no locks held) and wake any waiters."""
+        ticket.result = result
+        ticket._done.set()
+        if ticket.on_complete is not None:
+            ticket.on_complete(result)
+
+    def _cancel_group(self, group: RaceGroup) -> None:
+        """A racer won: terminate running losers; queued ones cancel at admit."""
+        for worker in list(self._workers):
+            ticket = worker.slot
+            if ticket is not None and ticket.group is group:
+                worker.clear()
+                self._retire(worker)
+                self._complete_cancelled(ticket)
+
+    def _shutdown_pending(self) -> None:
+        """The pool is closing: cancel queued tickets and busy workers."""
+        while True:
+            with self._cond:
+                if not self._inbox:
+                    break
+                ticket = self._inbox.popleft()
+            self._complete_cancelled(ticket)
+        for worker in list(self._workers):
+            ticket = worker.slot
+            if ticket is not None:
+                worker.clear()
+                self._retire(worker)
+                self._complete_cancelled(ticket)
 
     # -- Internals --------------------------------------------------------------
 
@@ -513,6 +774,7 @@ class WorkerPool:
         if len(self._workers) < self.size:
             worker = _Worker(self._ctx)
             self._workers.append(worker)
+            self.workers_spawned += 1
             jlog(logger, "pool.worker_spawned", worker_pid=worker.process.pid)
             return worker
         return None
@@ -521,35 +783,6 @@ class WorkerPool:
         worker.stop()
         if worker in self._workers:
             self._workers.remove(worker)
-
-    def _cancel_remaining(
-        self, jobs, pending, feed, feed_done, completed, progress,
-        queue_waits=None,
-    ) -> None:
-        """A racer won: terminate running losers, mark the rest cancelled."""
-        queue_waits = queue_waits or {}
-        for worker in list(self._workers):
-            if worker.busy:
-                index, job = worker.slot
-                worker.clear()
-                self._retire(worker)
-                completed[index] = _cancelled(job)
-                completed[index].queue_wait = round(
-                    queue_waits.get(index, 0.0), 4
-                )
-                self._live_update(job, state="done", status=CANCELLED,
-                                  worker_pid=None)
-                if progress is not None:
-                    progress(completed[index])
-        leftovers = list(pending)
-        if not feed_done:
-            leftovers.extend(feed)
-        for index, job in leftovers:
-            if index not in completed:
-                completed[index] = _cancelled(job)
-                self._live_update(job, state="done", status=CANCELLED)
-                if progress is not None:
-                    progress(completed[index])
 
 
 def _cancelled(job: SynthesisJob) -> JobResult:

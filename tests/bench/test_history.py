@@ -203,3 +203,95 @@ class TestArtifacts:
         record = record_from_quick_bench(result)
         assert record["solved"] == ["max2"]
         assert record["per_problem"]["max2"]["wall"] == 0.1
+
+
+def make_loadgen_report(p50=0.1, p99=0.5, solved=("max2", "sum3")):
+    return {
+        "clients": 8,
+        "requests": 16,
+        "completed": 16,
+        "shed": 0,
+        "errors": 0,
+        "cache_hits": 8,
+        "rejected_retries": 2,
+        "wall_seconds": 4.0,
+        "latency": {"p50": p50, "p90": p99 * 0.8, "p99": p99},
+        "solved": sorted(solved),
+        "records": [],
+    }
+
+
+def make_serve_record(p99=0.5, solver="dryadsynth", timeout=2.0,
+                      solved=("max2", "sum3")):
+    from repro.bench.history import record_from_loadgen
+
+    return record_from_loadgen(
+        make_loadgen_report(p99=p99, solved=solved), solver=solver,
+        timeout=timeout,
+    )
+
+
+class TestServeRecords:
+    def test_record_from_loadgen_shape(self):
+        record = make_serve_record(p99=0.42)
+        assert record["format"] == HISTORY_FORMAT
+        assert record["mode"] == "serve"
+        assert record["serve_latency"]["p99"] == 0.42
+        assert record["serve_latency"]["clients"] == 8
+        assert record["solved"] == ["max2", "sum3"]
+
+    def test_serve_records_round_trip_through_store(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        append_history(path, make_serve_record())
+        loaded = load_history(path)
+        assert len(loaded) == 1
+        assert loaded[0]["mode"] == "serve"
+
+
+class TestLatencyGate:
+    def test_serve_and_batch_records_never_cross_compare(self):
+        # A serve record gates only against serve history: the batch
+        # record is excluded, leaving no comparable baseline.
+        history = [make_record(BASELINE)]
+        comparison = compare(make_serve_record(), history)
+        assert comparison.ok
+        assert comparison.baseline_runs == 0
+
+    def test_latency_within_budget_passes(self):
+        history = [make_serve_record(p99=0.5)]
+        comparison = compare(make_serve_record(p99=0.6), history)
+        assert comparison.ok
+        assert comparison.latency_p99_baseline == 0.5
+        assert comparison.latency_p99_current == 0.6
+        assert comparison.latency_growth is not None
+
+    def test_latency_regression_fails(self):
+        history = [make_serve_record(p99=0.5)]
+        comparison = compare(make_serve_record(p99=1.0), history)
+        assert not comparison.ok
+        assert any("latency" in r for r in comparison.regressions)
+        assert "p99 submit-to-result latency" in comparison.render()
+
+    def test_latency_budget_is_configurable(self):
+        history = [make_serve_record(p99=0.5)]
+        comparison = compare(make_serve_record(p99=1.0), history,
+                             max_latency_growth=2.0)
+        assert comparison.ok
+
+    def test_baseline_is_median_of_trailing_p99s(self):
+        history = [make_serve_record(p99=p) for p in (0.4, 0.5, 10.0)]
+        comparison = compare(make_serve_record(p99=0.6), history)
+        assert comparison.latency_p99_baseline == 0.5
+        assert comparison.ok
+
+    def test_noise_floor_skips_gate(self):
+        history = [make_serve_record(p99=0.001)]
+        comparison = compare(make_serve_record(p99=0.04), history)
+        assert comparison.ok
+        assert any("noise floor" in note for note in comparison.notes)
+
+    def test_solved_set_gate_applies_to_serve_records(self):
+        history = [make_serve_record(solved=("max2", "sum3"))]
+        comparison = compare(make_serve_record(solved=("max2",)), history)
+        assert not comparison.ok
+        assert comparison.missing == ["sum3"]

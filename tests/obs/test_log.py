@@ -116,6 +116,45 @@ class TestConfigure:
         ensure_worker_logging("")
         assert _configured == before
 
+    def test_reset_after_fork_scrubs_inherited_handlers(self, tmp_path):
+        # A forked worker must not log through inherited handlers: their
+        # stream locks may have been held by another parent thread at fork
+        # time, deadlocking the child's first flush.  reset_after_fork
+        # detaches them (without close(), which would flush) and forgets
+        # _configured so ensure_worker_logging reopens the target fresh.
+        from repro.obs.log import _configured, reset_after_fork
+
+        path = tmp_path / "parent.jsonl"
+        inherited = configure_json_logging(str(path))
+        repro_logger = logging.getLogger("repro")
+        saved_root = list(logging.getLogger().handlers)
+        try:
+            reset_after_fork()
+            assert inherited not in repro_logger.handlers
+            assert str(path) not in _configured
+            # The fallback never reaches logging.lastResort (and thus the
+            # inherited sys.stderr wrapper): a NullHandler is parked.
+            assert any(isinstance(h, logging.NullHandler)
+                       for h in repro_logger.handlers)
+            # The worker path reattaches on a *fresh* file object.
+            ensure_worker_logging(str(path))
+            reopened = _configured[str(path)]
+            assert reopened is not inherited
+            jlog(logging.getLogger("repro.test_log"), "unit.after_fork")
+            assert read_lines(path)[-1]["event"] == "unit.after_fork"
+        finally:
+            fresh = _configured.get(str(path))
+            if fresh is not None:
+                remove_json_logging(fresh)
+            for handler in list(repro_logger.handlers):
+                if isinstance(handler, logging.NullHandler):
+                    repro_logger.removeHandler(handler)
+            root = logging.getLogger()
+            for handler in saved_root:
+                if handler not in root.handlers:
+                    root.addHandler(handler)
+            inherited.close()
+
     def test_exception_info_captured(self, log_file):
         logger = logging.getLogger("repro.test_log")
         try:

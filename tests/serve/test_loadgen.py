@@ -1,0 +1,75 @@
+"""The load generator against a live in-process daemon."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeSettings, SynthesisDaemon, build_server
+from repro.serve.loadgen import run_loadgen
+from repro.service.cache import ResultCache
+
+
+@pytest.fixture
+def stack(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    daemon = SynthesisDaemon(
+        ServeSettings(workers=2, solver="debug-solve", timeout=10.0,
+                      cache=cache, max_queue=64)
+    )
+    server = build_server(daemon, port=0)
+    server.start()
+    yield daemon, server
+    daemon.stop(drain=False)
+    server.stop()
+
+
+def test_concurrent_clients_complete_everything(stack):
+    daemon, server = stack
+    problems = [(f"p{i}", f"text {i}") for i in range(12)]
+    report = run_loadgen(server.url, problems, clients=4, deadline=60.0)
+    assert report["clients"] == 4
+    assert report["requests"] == 12
+    assert report["completed"] == 12
+    assert report["errors"] == 0
+    assert report["latency"]["p50"] > 0
+    assert report["latency"]["p99"] >= report["latency"]["p50"]
+    # debug-solve always solves, so the solved set is the full stream.
+    assert report["solved"] == sorted({name for name, _ in problems})
+
+
+def test_repeat_round_hits_the_cache(stack):
+    daemon, server = stack
+    problems = [(f"p{i}", f"text {i}") for i in range(6)]
+    report = run_loadgen(server.url, problems, clients=3, repeat=2,
+                         deadline=60.0)
+    assert report["requests"] == 12
+    assert report["completed"] == 12
+    assert report["cache_hits"] >= 6  # the whole second round
+    assert daemon.cache_admissions >= 6
+
+
+def test_backpressure_retries_are_honored_not_errors(tmp_path):
+    daemon = SynthesisDaemon(
+        ServeSettings(workers=1, solver="debug-sleep@0.2", timeout=10.0,
+                      max_queue=2)
+    )
+    server = build_server(daemon, port=0)
+    server.start()
+    try:
+        problems = [(f"p{i}", f"text {i}") for i in range(8)]
+        report = run_loadgen(server.url, problems, clients=4, deadline=120.0)
+        assert report["errors"] == 0
+        assert report["completed"] == 8
+        # With 1 worker, queue 2 and 4 concurrent clients the daemon must
+        # have pushed back at least once — and every 429 was retried.
+        assert report["rejected_retries"] >= 1
+    finally:
+        daemon.stop(drain=False)
+        server.stop()
+
+
+def test_report_is_json_serializable(stack):
+    daemon, server = stack
+    report = run_loadgen(server.url, [("p", "text")], clients=1,
+                         deadline=30.0)
+    json.dumps(report)

@@ -1,0 +1,89 @@
+"""Submission parsing: JSON and raw SyGuS-IF bodies, validation errors."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import BadRequest, parse_submission
+
+
+def json_body(payload):
+    return json.dumps(payload).encode(), "application/json"
+
+
+class TestJsonSubmissions:
+    def test_minimal(self):
+        body, ctype = json_body({"problem": "(check-synth)"})
+        request = parse_submission(body, ctype)
+        assert request.problem_text == "(check-synth)"
+        assert request.client == "default"
+        assert request.priority == 0
+        assert request.weight == 1
+        assert request.solver is None
+
+    def test_full(self):
+        body, ctype = json_body({
+            "problem": "(check-synth)", "name": "max2", "solver": "eusolver",
+            "timeout": 5.5, "client": "alice", "priority": 3, "weight": 2,
+            "labels": {"team": "blue"},
+        })
+        request = parse_submission(body, ctype)
+        assert request.name == "max2"
+        assert request.solver == "eusolver"
+        assert request.timeout == 5.5
+        assert request.client == "alice"
+        assert request.priority == 3
+        assert request.weight == 2
+        assert request.labels == {"team": "blue"}
+
+    @pytest.mark.parametrize("body", [b"", b"   ", b"not json", b"[1,2]",
+                                      b'"just a string"'])
+    def test_malformed_json_rejected(self, body):
+        with pytest.raises(BadRequest):
+            parse_submission(body, "application/json")
+
+    def test_missing_problem_rejected(self):
+        body, ctype = json_body({"name": "x"})
+        with pytest.raises(BadRequest, match="problem"):
+            parse_submission(body, ctype)
+
+    @pytest.mark.parametrize("field,value", [
+        ("priority", "nope"), ("priority", 10**9), ("weight", 0),
+        ("weight", 101), ("timeout", -1), ("timeout", "fast"),
+        ("name", 7), ("labels", {"k": 1}), ("labels", "x"),
+    ])
+    def test_out_of_range_fields_rejected(self, field, value):
+        body, ctype = json_body({"problem": "p", field: value})
+        with pytest.raises(BadRequest):
+            parse_submission(body, ctype)
+
+
+class TestRawTextSubmissions:
+    def test_plain_text_with_query_params(self):
+        request = parse_submission(
+            b"(set-logic LIA)\n(check-synth)\n",
+            "text/plain",
+            query={"client": "bob", "priority": "2", "name": "inv1",
+                   "timeout": "3"},
+        )
+        assert request.problem_text.startswith("(set-logic LIA)")
+        assert request.client == "bob"
+        assert request.priority == 2
+        assert request.name == "inv1"
+        assert request.timeout == 3.0
+
+    def test_no_content_type_means_raw(self):
+        request = parse_submission(b"(check-synth)", "")
+        assert request.problem_text == "(check-synth)"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(BadRequest, match="empty"):
+            parse_submission(b"", "text/plain")
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(BadRequest, match="UTF-8"):
+            parse_submission(b"\xff\xfe\x00", "text/plain")
+
+    def test_bad_query_param_rejected(self):
+        with pytest.raises(BadRequest):
+            parse_submission(b"p", "text/plain", query={"priority": "high"})

@@ -1,0 +1,133 @@
+"""Fair scheduling: WRR across clients, priorities within, load shedding."""
+
+from repro.serve.queues import FairScheduler
+
+
+def drain(scheduler):
+    items = []
+    while True:
+        entry = scheduler.pop()
+        if entry is None:
+            return items
+        items.append(entry.item)
+
+
+class TestSingleClient:
+    def test_fifo_among_equal_priorities(self):
+        scheduler = FairScheduler()
+        for name in ["a", "b", "c"]:
+            scheduler.push(name)
+        assert drain(scheduler) == ["a", "b", "c"]
+
+    def test_higher_priority_first(self):
+        scheduler = FairScheduler()
+        scheduler.push("low", priority=0)
+        scheduler.push("high", priority=5)
+        scheduler.push("mid", priority=3)
+        assert drain(scheduler) == ["high", "mid", "low"]
+
+    def test_len_tracks_live_entries(self):
+        scheduler = FairScheduler()
+        assert len(scheduler) == 0
+        scheduler.push("a")
+        scheduler.push("b")
+        assert len(scheduler) == 2
+        scheduler.pop()
+        assert len(scheduler) == 1
+
+
+class TestFairnessAcrossClients:
+    def test_round_robin_interleaves_clients(self):
+        scheduler = FairScheduler()
+        for i in range(3):
+            scheduler.push(f"a{i}", client="alice")
+        for i in range(3):
+            scheduler.push(f"b{i}", client="bob")
+        assert drain(scheduler) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_flooding_client_cannot_starve_others(self):
+        scheduler = FairScheduler()
+        for i in range(100):
+            scheduler.push(f"flood{i}", client="flooder")
+        scheduler.push("urgent", client="quiet")
+        # The quiet client's single job is served after at most one
+        # flooder turn, not after 100.
+        first_three = [scheduler.pop().item for _ in range(3)]
+        assert "urgent" in first_three
+
+    def test_weights_skew_service_proportionally(self):
+        scheduler = FairScheduler()
+        for i in range(6):
+            scheduler.push(f"h{i}", client="heavy", weight=2)
+        for i in range(3):
+            scheduler.push(f"l{i}", client="light", weight=1)
+        served = [scheduler.pop().item for _ in range(6)]
+        heavy = sum(1 for item in served if item.startswith("h"))
+        light = sum(1 for item in served if item.startswith("l"))
+        assert heavy == 4 and light == 2
+
+    def test_priorities_are_per_client_not_global(self):
+        scheduler = FairScheduler()
+        scheduler.push("a-low", client="alice", priority=0)
+        scheduler.push("b-high", client="bob", priority=9)
+        # WRR turn order decides across clients; bob's high priority does
+        # not preempt alice's turn.
+        assert scheduler.pop().item == "a-low"
+        assert scheduler.pop().item == "b-high"
+
+
+class TestShedding:
+    def test_shed_lowest_evicts_strictly_below(self):
+        scheduler = FairScheduler()
+        scheduler.push("p1", priority=1)
+        scheduler.push("p2", priority=2)
+        victim = scheduler.shed_lowest(below_priority=2)
+        assert victim.item == "p1"
+        assert len(scheduler) == 1
+        assert drain(scheduler) == ["p2"]
+
+    def test_shed_refuses_equal_priority(self):
+        scheduler = FairScheduler()
+        scheduler.push("p1", priority=1)
+        assert scheduler.shed_lowest(below_priority=1) is None
+        assert len(scheduler) == 1
+
+    def test_shed_picks_newest_among_ties(self):
+        scheduler = FairScheduler()
+        scheduler.push("old", priority=0)
+        scheduler.push("new", priority=0)
+        victim = scheduler.shed_lowest(below_priority=5)
+        assert victim.item == "new"
+        assert drain(scheduler) == ["old"]
+
+    def test_shed_spans_clients(self):
+        scheduler = FairScheduler()
+        scheduler.push("a", client="alice", priority=3)
+        scheduler.push("b", client="bob", priority=1)
+        victim = scheduler.shed_lowest(below_priority=9)
+        assert victim.item == "b"
+
+    def test_removed_entry_never_pops(self):
+        scheduler = FairScheduler()
+        entry = scheduler.push("doomed")
+        scheduler.push("kept")
+        assert scheduler.remove(entry) is True
+        assert scheduler.remove(entry) is False  # idempotent
+        assert drain(scheduler) == ["kept"]
+
+    def test_empty_scheduler_sheds_nothing(self):
+        scheduler = FairScheduler()
+        assert scheduler.shed_lowest(below_priority=100) is None
+
+
+class TestDepths:
+    def test_depths_report_live_counts_per_client(self):
+        scheduler = FairScheduler()
+        scheduler.push("a1", client="alice")
+        scheduler.push("a2", client="alice")
+        scheduler.push("b1", client="bob")
+        assert scheduler.depths() == {"alice": 2, "bob": 1}
+        scheduler.pop()
+        scheduler.pop()
+        scheduler.pop()
+        assert scheduler.depths() == {}

@@ -1,0 +1,127 @@
+"""Concurrent ResultCache access from multiple processes.
+
+The daemon shares one on-disk cache between its own admission path and any
+number of sibling processes (a second daemon, a batch run).  The contract
+under concurrent ``put``/``get`` of the *same* fingerprint: readers never
+observe a torn entry (half of writer A, half of writer B, or a partial
+file), and after the dust settles the entry is the last writer's payload
+in full.  Both properties come from the atomic tmp-file + ``os.replace``
+write; these tests are the regression net around that mechanism.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import SOLVED, JobResult
+
+FINGERPRINT = "ab" + "0" * 62
+
+#: Payloads big enough that a torn write would be observable: a reader
+#: that saw part of one and part of the other could not json-decode a
+#: consistent record.
+PAYLOAD_SIZE = 64 * 1024
+
+
+def make_result(tag: str) -> JobResult:
+    return JobResult(
+        job_id=f"job-{tag}",
+        name=f"writer-{tag}",
+        solver="debug-solve",
+        status=SOLVED,
+        solution_text=tag * PAYLOAD_SIZE,
+        wall_time=1.0,
+    )
+
+
+def hammer_writer(root: str, tag: str, rounds: int, barrier) -> None:
+    cache = ResultCache(root)
+    result = make_result(tag)
+    barrier.wait()
+    for _ in range(rounds):
+        cache.put(FINGERPRINT, result)
+
+
+def hammer_reader(root: str, rounds: int, barrier, failures) -> None:
+    cache = ResultCache(root)
+    barrier.wait()
+    for _ in range(rounds):
+        result = cache.get(FINGERPRINT)
+        if result is None:
+            continue  # not written yet - a miss, never a torn read
+        tag = result.name.split("-", 1)[1]
+        if result.solution_text != tag * PAYLOAD_SIZE:
+            failures.put(f"torn read: name={result.name} "
+                         f"len={len(result.solution_text)}")
+            return
+
+
+class TestConcurrentAccess:
+    def test_two_processes_put_and_get_same_fingerprint(self, tmp_path):
+        """Writers A and B race; readers must always see one whole entry."""
+        root = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        failures = ctx.Queue()
+        processes = [
+            ctx.Process(target=hammer_writer, args=(root, "A", 200, barrier)),
+            ctx.Process(target=hammer_writer, args=(root, "B", 200, barrier)),
+            ctx.Process(target=hammer_reader,
+                        args=(root, 400, barrier, failures)),
+            ctx.Process(target=hammer_reader,
+                        args=(root, 400, barrier, failures)),
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        assert failures.empty(), failures.get()
+        # The surviving entry is one writer's payload, complete.
+        final = ResultCache(root).get(FINGERPRINT)
+        assert final is not None
+        tag = final.name.split("-", 1)[1]
+        assert tag in ("A", "B")
+        assert final.solution_text == tag * PAYLOAD_SIZE
+
+    def test_last_writer_wins(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        first = ctx.Process(target=hammer_writer,
+                            args=(root, "A", 50, barrier))
+        second = ctx.Process(target=hammer_writer,
+                             args=(root, "B", 50, barrier))
+        first.start()
+        second.start()
+        first.join(timeout=60)
+        second.join(timeout=60)
+        assert first.exitcode == 0 and second.exitcode == 0
+        # Sequential final write from this process is the definitive last
+        # writer; the entry must be exactly its payload.
+        cache = ResultCache(root)
+        cache.put(FINGERPRINT, make_result("C"))
+        final = cache.get(FINGERPRINT)
+        assert final.name == "writer-C"
+        assert final.solution_text == "C" * PAYLOAD_SIZE
+
+    def test_no_tmp_litter_after_concurrent_writes(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(target=hammer_writer,
+                        args=(root, tag, 100, barrier))
+            for tag in ("A", "B")
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        shard = os.path.join(root, FINGERPRINT[:2])
+        leftovers = [name for name in os.listdir(shard)
+                     if name.startswith(".tmp-")]
+        assert leftovers == []

@@ -259,6 +259,111 @@ class TestPoolCache:
         assert len(cache) == 0
 
 
+class TestSubmitAPI:
+    def test_submit_returns_ticket_that_waits(self):
+        with WorkerPool(workers=1) as pool:
+            ticket = pool.submit(_job("debug-solve", name="t"))
+            result = ticket.wait(timeout=30)
+        assert result is not None
+        assert result.status == SOLVED
+        assert ticket.done
+
+    def test_tickets_resolve_out_of_order(self):
+        with WorkerPool(workers=2) as pool:
+            slow = pool.submit(_job("debug-sleep@0.4", name="slow"))
+            fast = pool.submit(_job("debug-solve", name="fast"))
+            fast_result = fast.wait(timeout=30)
+            assert fast_result.status == SOLVED
+            assert not slow.done  # still running while fast already finished
+            assert slow.wait(timeout=30).status == UNSOLVED
+
+    def test_on_complete_fires_per_ticket(self):
+        seen = []
+        with WorkerPool(workers=1) as pool:
+            tickets = [
+                pool.submit(_job("debug-solve", name=f"j{i}"),
+                            on_complete=lambda r: seen.append(r.name))
+                for i in range(3)
+            ]
+            for ticket in tickets:
+                ticket.wait(timeout=30)
+        assert sorted(seen) == ["j0", "j1", "j2"]
+
+    def test_warm_workers_reused_across_run_calls(self):
+        with WorkerPool(workers=1) as pool:
+            first = pool.run([_job("debug-solve", name="a")])
+            second = pool.run([_job("debug-solve", name="b")])
+            stats = pool.pool_stats()
+        assert first[0].status == SOLVED and second[0].status == SOLVED
+        assert stats["jobs_dispatched"] == 2
+        assert stats["workers_spawned"] == 1  # same process served both runs
+
+
+class TestLiveViewBounded:
+    """The `/jobs` live view must not grow without bound (satellite fix)."""
+
+    def _fake_job(self, index):
+        return SynthesisJob(problem_text="", solver="debug-solve",
+                            job_id=f"job-{index}", name=f"j{index}",
+                            hard_timeout=60)
+
+    def test_live_view_bounded_across_10k_jobs(self):
+        pool = WorkerPool(workers=1, live_cap=100)
+        try:
+            for index in range(10_000):
+                job = self._fake_job(index)
+                pool._live_update(job)
+                pool._live_update(job, state="done", status=SOLVED,
+                                  _done_at=time.monotonic())
+            snapshot = pool.jobs_snapshot()
+            assert len(snapshot) <= 100
+            # The survivors are the *recent* history, not the oldest.
+            names = {entry["job_id"] for entry in snapshot}
+            assert "job-9999" in names
+            assert "job-0" not in names
+        finally:
+            pool.close()
+
+    def test_ttl_expires_done_entries(self):
+        pool = WorkerPool(workers=1, live_ttl=0.05)
+        try:
+            job = self._fake_job(0)
+            pool._live_update(job)
+            pool._live_update(job, state="done", status=SOLVED,
+                              _done_at=time.monotonic())
+            time.sleep(0.1)
+            # Eviction runs on the next insert.
+            pool._live_update(self._fake_job(1))
+            names = {entry["job_id"] for entry in pool.jobs_snapshot()}
+            assert "job-0" not in names
+            assert "job-1" in names
+        finally:
+            pool.close()
+
+    def test_running_jobs_never_evicted(self):
+        pool = WorkerPool(workers=1, live_cap=5)
+        try:
+            running = self._fake_job(0)
+            pool._live_update(running, state="running")
+            for index in range(1, 50):
+                job = self._fake_job(index)
+                pool._live_update(job, state="done", status=SOLVED,
+                                  _done_at=time.monotonic())
+            names = {entry["job_id"] for entry in pool.jobs_snapshot()}
+            assert "job-0" in names  # live work survives any cap pressure
+            assert len(names) <= 6
+        finally:
+            pool.close()
+
+    def test_real_jobs_respect_cap(self):
+        with WorkerPool(workers=2, live_cap=10) as pool:
+            results = pool.run(
+                [_job("debug-solve", name=f"j{i}") for i in range(30)]
+            )
+            assert len(results) == 30
+            assert len(pool.jobs_snapshot()) <= 10
+
+
 class TestShutdown:
     def test_close_reaps_all_workers(self):
         pool = WorkerPool(workers=3)

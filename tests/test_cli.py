@@ -318,6 +318,85 @@ class TestBatchServeTelemetry:
         assert len(records) == 3
 
 
+    def test_telemetry_url_line_is_machine_readable(self, tmp_path, capsys):
+        """--serve-telemetry 0 must print the resolved URL, not port 0."""
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "p0.sl").write_text(MAX2_SL)
+        out = tmp_path / "results.jsonl"
+        exit_code = main([
+            "batch", str(suite), "--no-cache",
+            "--solver", "debug-solve", "--jobs", "1",
+            "--timeout", "10", "--serve-telemetry", "0",
+            "--out", str(out),
+        ])
+        assert exit_code == 0
+        stderr = capsys.readouterr().err
+        url_lines = [
+            line for line in stderr.splitlines()
+            if line.startswith("TELEMETRY_URL=")
+        ]
+        assert len(url_lines) == 1
+        url = url_lines[0].split("=", 1)[1]
+        assert url.startswith("http://127.0.0.1:")
+        port = int(url.rsplit(":", 1)[1])
+        assert port != 0
+
+
+class TestServeCli:
+    def test_serve_daemon_submits_drains_and_persists(self, tmp_path):
+        import json
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        results = tmp_path / "results.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--jobs", "1", "--solver", "debug-solve", "--timeout", "10",
+             "--results-out", str(results)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("SERVE_URL="), line
+            url = line.split("=", 1)[1]
+            request = urllib.request.Request(
+                url + "/v1/jobs",
+                data=json.dumps({"problem": "p", "name": "one"}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                serve_id = json.loads(response.read().decode())["id"]
+            deadline = time.monotonic() + 30
+            state = None
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"{url}/v1/jobs/{serve_id}", timeout=10.0
+                ) as response:
+                    state = json.loads(response.read().decode())["state"]
+                if state == "done":
+                    break
+                time.sleep(0.05)
+            assert state == "done"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        records = [
+            json.loads(line) for line in results.read_text().splitlines()
+        ]
+        assert [record["name"] for record in records] == ["one"]
+        assert records[0]["state"] == "done"
+
+
 class TestPostmortemCli:
     def _crash_batch(self, tmp_path, capsys):
         suite = tmp_path / "suite"
@@ -404,6 +483,37 @@ class TestBenchCompareCli:
         out = capsys.readouterr().out
         assert "REGRESSION" in out
         assert "sum3" in out
+
+    def _write_loadgen_report(self, path, p99):
+        import json
+
+        report = {
+            "clients": 8, "requests": 16, "completed": 16, "shed": 0,
+            "errors": 0, "cache_hits": 8, "rejected_retries": 0,
+            "wall_seconds": 4.0,
+            "latency": {"p50": p99 / 2, "p90": p99 * 0.9, "p99": p99},
+            "solved": ["max2", "sum3"], "records": [],
+        }
+        with open(path, "w") as handle:
+            json.dump(report, handle)
+        return path
+
+    def test_serve_latency_gate_from_loadgen_report(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        fast = self._write_loadgen_report(tmp_path / "fast.json", p99=0.5)
+        assert main(["bench-compare", "--from-loadgen", str(fast),
+                     "--against", str(history), "--append"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        slow = self._write_loadgen_report(tmp_path / "slow.json", p99=2.0)
+        assert main(["bench-compare", "--from-loadgen", str(slow),
+                     "--against", str(history)]) == 1
+        out = capsys.readouterr().out
+        assert "latency" in out
+        # A looser budget lets the same report pass.
+        assert main(["bench-compare", "--from-loadgen", str(slow),
+                     "--against", str(history),
+                     "--max-latency-growth", "5.0"]) == 0
 
     def test_wall_regression_detected(self, tmp_path, capsys):
         history = tmp_path / "history.jsonl"
