@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lang.ast import Kind, Term
 from repro.lang.builders import int_const, ite
+from repro.lang.compile import compile_term
 from repro.lang.evaluator import EvaluationError, Value, evaluate
 from repro.lang.sorts import BOOL, INT, Sort
 from repro.lang.traversal import subexpressions, substitute
@@ -72,10 +73,14 @@ class TermEnumerator:
         self._signatures: Dict[str, Set[Tuple]] = {nt: set() for nt in grammar.nonterminals}
 
     def _signature(self, term: Term) -> Optional[Tuple]:
+        # Compiled observational-equivalence check: the term compiles once
+        # (cached globally on the interned term, so re-enumeration in later
+        # CEGIS rounds reuses it) and runs against every example.
+        compiled = compile_term(term, funcs=self.funcs)
         values = []
         for example in self.examples:
             try:
-                values.append(evaluate(term, example, self.funcs))
+                values.append(compiled.eval(example))
             except EvaluationError:
                 return None
         return tuple(values)
@@ -267,9 +272,10 @@ class EnumerativeSolver:
             for nt in bool_nts:
                 for predicate in enumerator.terms(nt, size):
                     _check_deadline(deadline)
+                    compiled = compile_term(predicate, funcs=funcs)
                     try:
                         values = tuple(
-                            bool(evaluate(predicate, example, funcs))
+                            bool(compiled.eval(example))
                             for example in examples
                         )
                     except EvaluationError:

@@ -116,6 +116,49 @@ def record_from_loadgen(
     return record
 
 
+def record_from_smt_bench(
+    report: Dict, context: Optional[Dict] = None
+) -> Dict:
+    """Build a solver-only history record from an ``smt-bench`` report.
+
+    These records carry ``"mode": "smt-bench"`` and gate only against each
+    other: the workload is the committed ``repro-smtq/1`` corpus replayed
+    straight into :class:`~repro.smt.solver.SmtSolver`, with no synthesis
+    loop, no enumeration and no subprocess pool in the measurement.  The
+    gate is therefore the tightest wall signal the history has — a pure
+    SMT-substrate regression detector.
+    """
+    record = {
+        "format": HISTORY_FORMAT,
+        "mode": "smt-bench",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "solver": "smt-core",
+        "timeout_seconds": 0.0,
+        "problems": report["queries"],
+        "solved": [],
+        "wall_seconds": round(float(report["replayed_wall"]), 4),
+        "smt_bench": {
+            "queries": report["queries"],
+            "files": report["files"],
+            "skipped": report.get("skipped", 0),
+            "divergences": report.get("divergences", 0),
+            "replayed_wall": round(float(report["replayed_wall"]), 4),
+            "latency": {
+                "p50": report["latency"]["p50"],
+                "p90": report["latency"].get("p90"),
+                "p99": report["latency"]["p99"],
+            },
+            "memo": {
+                "hits": report.get("memo", {}).get("hits", 0),
+                "misses": report.get("memo", {}).get("misses", 0),
+            },
+        },
+    }
+    if context:
+        record["context"] = dict(context)
+    return record
+
+
 def load_history(path: str) -> List[Dict]:
     """Read a history JSONL store tolerantly (blank/torn lines dropped)."""
     history: List[Dict] = []
@@ -161,6 +204,9 @@ class Comparison:
     latency_p99_baseline: Optional[float] = None
     latency_p99_current: Optional[float] = None
     latency_growth: Optional[float] = None
+    smt_wall_baseline: Optional[float] = None
+    smt_wall_current: Optional[float] = None
+    smt_wall_growth: Optional[float] = None
 
     def render(self) -> str:
         lines = []
@@ -190,6 +236,16 @@ class Comparison:
                 f"  p99 submit-to-result latency: "
                 f"{self.latency_p99_current:.4f}s vs baseline "
                 f"{self.latency_p99_baseline:.4f}s ({growth})"
+            )
+        if self.smt_wall_baseline is not None:
+            growth = (
+                f"{self.smt_wall_growth * 100:+.1f}%"
+                if self.smt_wall_growth is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  corpus replay wall: {self.smt_wall_current:.4f}s vs "
+                f"baseline {self.smt_wall_baseline:.4f}s ({growth})"
             )
         if self.new_solves:
             lines.append(
@@ -302,6 +358,50 @@ def compare(
                 result.notes.append(
                     "baseline p99 latency below the noise floor - "
                     "latency gate skipped"
+                )
+    # -- smt-bench gate --------------------------------------------------------
+    current_smt = record.get("smt_bench")
+    if current_smt is not None:
+        if int(current_smt.get("divergences", 0)):
+            result.regressions.append(
+                f"corpus replay diverged on "
+                f"{current_smt['divergences']} quer(y/ies) - the solver no "
+                "longer reproduces recorded statuses/models"
+            )
+        baseline_replay = [
+            float(entry["smt_bench"]["replayed_wall"])
+            for entry in trailing
+            if entry.get("smt_bench", {}).get("replayed_wall") is not None
+            # Replay wall is only comparable at equal workload size.
+            and entry["smt_bench"].get("queries") == current_smt.get("queries")
+        ]
+        mismatched = sum(
+            1 for entry in trailing
+            if entry.get("smt_bench")
+            and entry["smt_bench"].get("queries") != current_smt.get("queries")
+        )
+        if mismatched:
+            result.notes.append(
+                f"{mismatched} trailing smt-bench record(s) replayed a "
+                "different corpus size and were excluded from the wall gate"
+            )
+        if baseline_replay:
+            result.smt_wall_baseline = statistics.median(baseline_replay)
+            result.smt_wall_current = float(current_smt["replayed_wall"])
+            if result.smt_wall_baseline >= min_median_wall:
+                result.smt_wall_growth = (
+                    result.smt_wall_current - result.smt_wall_baseline
+                ) / result.smt_wall_baseline
+                if result.smt_wall_growth > max_wall_growth:
+                    result.regressions.append(
+                        f"corpus replay wall growth "
+                        f"{result.smt_wall_growth * 100:.1f}% exceeds the "
+                        f"{max_wall_growth * 100:.0f}% budget"
+                    )
+            else:
+                result.notes.append(
+                    "baseline replay wall below the noise floor - "
+                    "smt-bench wall gate skipped"
                 )
     result.ok = not result.regressions
     return result

@@ -30,6 +30,11 @@ rule-firing table, and (for unsolved runs) the failure frontier — from a
 ``dryadsynth smt-replay`` re-executes a captured SMT query corpus
 (``--smt-corpus``) on a fresh solver and reports status/model divergences
 and timing percentiles (:mod:`repro.smt.capture`).
+
+``dryadsynth smt-bench`` replays the committed corpus *as a benchmark*:
+solver-only (no synthesis loop in the measurement), query-memo enabled,
+and the total replay wall gated against the ``smt-bench`` records in
+``BENCH_history.jsonl`` (see docs/SMT.md).
 """
 
 from __future__ import annotations
@@ -214,6 +219,8 @@ def main(argv: Optional[list] = None) -> int:
         return _explain_main(argv[1:])
     if argv and argv[0] == "smt-replay":
         return _smt_replay_main(argv[1:])
+    if argv and argv[0] == "smt-bench":
+        return _smt_bench_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     with _json_logging(args):
         return _single_main(args)
@@ -1052,6 +1059,194 @@ def _smt_replay_main(argv) -> int:
     if capture.KIND_MODEL in kinds:
         return 5
     return 0
+
+
+def build_smt_bench_arg_parser() -> argparse.ArgumentParser:
+    from repro.bench.history import (
+        DEFAULT_MAX_WALL_GROWTH,
+        DEFAULT_WINDOW,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth smt-bench",
+        description=(
+            "Replay the committed SMT query corpus solver-only as a "
+            "benchmark: every query re-solved with the semantic query memo "
+            "shared across the run, every status and model "
+            "divergence-checked, and the total replay wall gated against "
+            "the smt-bench records in the regression history.  Exit codes: "
+            "0 ok, 1 gate regression, 2 usage/IO, 3 corrupt corpus, "
+            "4 status divergence, 5 model divergence."
+        ),
+    )
+    parser.add_argument(
+        "corpus",
+        nargs="?",
+        default="smt_corpus",
+        help="corpus directory (from --smt-corpus) or a single "
+        "*.smtq.jsonl file (default: smt_corpus)",
+    )
+    parser.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable the query memo: replay every query from scratch "
+        "(measures the raw solver path)",
+    )
+    parser.add_argument(
+        "--against",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="history JSONL store to gate against "
+        "(default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        metavar="N",
+        help=f"trailing smt-bench records forming the baseline "
+        f"(default: {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--max-wall-growth",
+        type=float,
+        default=DEFAULT_MAX_WALL_GROWTH,
+        metavar="FRACTION",
+        help="allowed total replay wall growth (default: 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append this run's record to the history store when it passes",
+    )
+    parser.add_argument(
+        "--record-out",
+        default=None,
+        metavar="PATH",
+        help="also write this run's history record as JSON to PATH "
+        "(the CI artifact)",
+    )
+    parser.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="write one JSON row per corpus file (queries, wall, memo "
+        "deltas, divergences) to PATH",
+    )
+    return parser
+
+
+def _smt_bench_main(argv) -> int:
+    from repro.bench import history as bench_history
+    from repro.smt import capture
+    from repro.smt import memo as smt_memo
+
+    args = build_smt_bench_arg_parser().parse_args(argv)
+    memo = None if args.no_memo else smt_memo.QueryMemo()
+    try:
+        files = capture.corpus_files(args.corpus)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not files:
+        print(
+            f"error: no .smtq.jsonl corpus files under {args.corpus!r}",
+            file=sys.stderr,
+        )
+        return 2
+    report = capture.ReplayReport()
+    rows = []
+    for path in files:
+        marks = (
+            report.entries,
+            report.skipped,
+            len(report.divergences),
+            len(report.replayed_walls),
+            memo.hits if memo else 0,
+            memo.misses if memo else 0,
+        )
+        try:
+            _, entries = capture.read_corpus_file(path)
+        except capture.CorpusError as exc:
+            report.files += 1
+            report.divergences.append(
+                capture.Divergence(path, "-", capture.KIND_CORRUPT, str(exc))
+            )
+            rows.append({"file": path, "error": str(exc)})
+            continue
+        report.files += 1
+        for lineno, entry in entries:
+            report.entries += 1
+            capture.replay_entry(path, lineno, entry, report, memo=memo)
+        rows.append({
+            "file": path,
+            "queries": report.entries - marks[0],
+            "skipped": report.skipped - marks[1],
+            "divergences": len(report.divergences) - marks[2],
+            "replayed_wall": round(
+                sum(report.replayed_walls[marks[3]:]), 6
+            ),
+            "memo_hits": (memo.hits if memo else 0) - marks[4],
+            "memo_misses": (memo.misses if memo else 0) - marks[5],
+        })
+    print(capture.render_report(report))
+    memo_stats = memo.stats() if memo else {"hits": 0, "misses": 0}
+    print(
+        f"  query memo: "
+        f"{'disabled' if memo is None else 'enabled'}  "
+        f"hits={memo_stats['hits']} misses={memo_stats['misses']}"
+    )
+    bench_report = {
+        "queries": report.entries,
+        "files": report.files,
+        "skipped": report.skipped,
+        "divergences": len(report.divergences),
+        "replayed_wall": sum(report.replayed_walls),
+        "latency": capture.timing_percentiles(report.replayed_walls),
+        "memo": {
+            "hits": memo_stats["hits"],
+            "misses": memo_stats["misses"],
+        },
+    }
+    record = bench_history.record_from_smt_bench(
+        bench_report, context={"memo": memo is not None}
+    )
+    history = bench_history.load_history(args.against)
+    comparison = bench_history.compare(
+        record,
+        history,
+        window=args.window,
+        max_wall_growth=args.max_wall_growth,
+    )
+    print(comparison.render())
+    if args.jsonl:
+        try:
+            with open(args.jsonl, "w") as handle:
+                for row in rows:
+                    handle.write(json.dumps(row, sort_keys=True) + "\n")
+        except OSError as exc:
+            print(f"warning: cannot write jsonl: {exc}", file=sys.stderr)
+    if args.record_out:
+        try:
+            with open(args.record_out, "w") as handle:
+                json.dump(record, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"warning: cannot write record: {exc}", file=sys.stderr)
+    if args.append and comparison.ok:
+        try:
+            bench_history.append_history(args.against, record)
+            print(f"; recorded into {args.against}", file=sys.stderr)
+        except OSError as exc:
+            print(f"warning: cannot append history: {exc}", file=sys.stderr)
+    kinds = report.kinds()
+    if capture.KIND_CORRUPT in kinds:
+        return 3
+    if capture.KIND_STATUS in kinds:
+        return 4
+    if capture.KIND_MODEL in kinds:
+        return 5
+    return 0 if comparison.ok else 1
 
 
 if __name__ == "__main__":

@@ -36,8 +36,18 @@ def evaluate(
     Raises:
         EvaluationError: on unbound variables or undefined functions.
     """
-    cache: Dict[Term, Value] = {}
-    return _eval(term, env, funcs or {}, cache)
+    return _eval(term, env, funcs or {}, {}, {})
+
+
+_MISSING = object()
+
+#: Function-application results keyed by ``(name, typed actual values)``.
+#: Application results depend only on the definition and the concrete
+#: actuals — never on the caller's environment — so one cache is shared
+#: across the entire evaluation, including nested applications.  The keys
+#: are typed (``True`` and ``1`` do not collide) because CLIA terms can be
+#: Bool- or Int-sorted and Python hashes them identically.
+AppCache = Dict[Tuple, Value]
 
 
 def _eval(
@@ -45,9 +55,10 @@ def _eval(
     env: Mapping[str, Value],
     funcs: FunctionDefs,
     cache: Dict[Term, Value],
+    app_cache: AppCache,
 ) -> Value:
-    hit = cache.get(term)
-    if hit is not None and term in cache:
+    hit = cache.get(term, _MISSING)
+    if hit is not _MISSING:
         return hit
     kind = term.kind
     if kind is Kind.CONST:
@@ -58,30 +69,51 @@ def _eval(
         except KeyError as exc:
             raise EvaluationError(f"unbound variable {term.payload}") from exc
     elif kind is Kind.ITE:
-        cond = _eval(term.args[0], env, funcs, cache)
+        cond = _eval(term.args[0], env, funcs, cache, app_cache)
         branch = term.args[1] if cond else term.args[2]
-        result = _eval(branch, env, funcs, cache)
+        result = _eval(branch, env, funcs, cache, app_cache)
     elif kind is Kind.AND:
-        result = all(_eval(a, env, funcs, cache) for a in term.args)
+        result = all(
+            _eval(a, env, funcs, cache, app_cache) for a in term.args
+        )
     elif kind is Kind.OR:
-        result = any(_eval(a, env, funcs, cache) for a in term.args)
+        result = any(
+            _eval(a, env, funcs, cache, app_cache) for a in term.args
+        )
     elif kind is Kind.NOT:
-        result = not _eval(term.args[0], env, funcs, cache)
+        result = not _eval(term.args[0], env, funcs, cache, app_cache)
     elif kind is Kind.IMPLIES:
-        left = _eval(term.args[0], env, funcs, cache)
-        result = (not left) or bool(_eval(term.args[1], env, funcs, cache))
+        left = _eval(term.args[0], env, funcs, cache, app_cache)
+        result = (not left) or bool(
+            _eval(term.args[1], env, funcs, cache, app_cache)
+        )
     elif kind is Kind.APP:
         name = term.payload
         if name not in funcs:
             raise EvaluationError(f"undefined function {name}")
         params, body = funcs[name]
-        actuals = [_eval(a, env, funcs, cache) for a in term.args]
+        actuals = [
+            _eval(a, env, funcs, cache, app_cache) for a in term.args
+        ]
         if len(actuals) != len(params):
             raise EvaluationError(f"arity mismatch calling {name}")
-        inner_env = {p.payload: v for p, v in zip(params, actuals)}
-        result = evaluate(body, inner_env, funcs)
+        app_key = (
+            name,
+            tuple((v.__class__ is bool, v) for v in actuals),
+        )
+        result = app_cache.get(app_key, _MISSING)  # type: ignore[assignment]
+        if result is _MISSING:
+            inner_env = {p.payload: v for p, v in zip(params, actuals)}
+            # The body runs under its own environment, so it needs a fresh
+            # term cache — but it shares the application cache, so repeated
+            # applications on equal actuals (nested towers of interpreted
+            # defs, duplicated invocation sites) evaluate once.
+            result = _eval(body, inner_env, funcs, {}, app_cache)
+            app_cache[app_key] = result
     else:
-        values = [_eval(a, env, funcs, cache) for a in term.args]
+        values = [
+            _eval(a, env, funcs, cache, app_cache) for a in term.args
+        ]
         if kind is Kind.ADD:
             result = sum(values)  # type: ignore[arg-type]
         elif kind is Kind.SUB:

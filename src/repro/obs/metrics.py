@@ -33,6 +33,8 @@ METRIC_HELP: Dict[str, str] = {
     "smt.theory_conflicts": "theory-layer conflicts",
     "smt.simplex_pivots": "simplex pivot operations",
     "smt.solve_seconds": "per-query SMT latency",
+    "smt.memo_hits": "semantic query-memo hits (decided result served from cache)",
+    "smt.memo_misses": "semantic query-memo misses",
     "sat.conflicts": "CDCL conflicts",
     "sat.decisions": "CDCL decisions",
     "sat.learnts_deleted": "learned clauses deleted by DB reduction",

@@ -330,8 +330,22 @@ def corpus_files(target: str) -> List[str]:
     return []
 
 
-def replay_entry(path: str, lineno: int, entry: Dict, report: ReplayReport) -> None:
-    """Replay one entry on a fresh solver, appending divergences to ``report``."""
+def replay_entry(
+    path: str,
+    lineno: int,
+    entry: Dict,
+    report: ReplayReport,
+    memo=None,
+) -> None:
+    """Replay one entry on a fresh solver, appending divergences to ``report``.
+
+    ``memo`` (a :class:`repro.smt.memo.QueryMemo`) is shared across the
+    replay's fresh solvers; ``None`` — the default, and what ``smt-replay``
+    uses — forces true re-execution of every query.  ``smt-bench`` passes a
+    shared memo to measure the memoized solve path: duplicate decided
+    queries answer from cache, and the divergence checks still apply to the
+    answers the caller would have observed.
+    """
     from repro.smt.solver import SmtSolver, SolverBudgetExceeded
 
     seq = entry.get("seq", f"line {lineno}")
@@ -365,6 +379,7 @@ def replay_entry(path: str, lineno: int, entry: Dict, report: ReplayReport) -> N
     solver = SmtSolver(
         max_rounds=int(budget.get("max_rounds", 100000)),
         lia_node_budget=int(budget.get("lia_node_budget", 20000)),
+        memo=memo,
     )
     assume_count = len(query.get("assume", ()))
     asserted = terms[: len(terms) - assume_count] if assume_count else terms
@@ -391,7 +406,7 @@ def replay_entry(path: str, lineno: int, entry: Dict, report: ReplayReport) -> N
             diverge(KIND_MODEL, f"replayed model does not satisfy query: {detail}")
 
 
-def replay_corpus(target: str) -> ReplayReport:
+def replay_corpus(target: str, memo=None) -> ReplayReport:
     """Replay every entry in a corpus directory (or single file)."""
     report = ReplayReport()
     files = corpus_files(target)
@@ -407,7 +422,7 @@ def replay_corpus(target: str) -> ReplayReport:
         report.files += 1
         for lineno, entry in entries:
             report.entries += 1
-            replay_entry(path, lineno, entry, report)
+            replay_entry(path, lineno, entry, report, memo=memo)
     return report
 
 

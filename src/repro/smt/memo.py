@@ -1,0 +1,152 @@
+"""Semantic SMT query memoization keyed by the ``repro-smtq/1`` fingerprint.
+
+The synthesis loops issue many *semantically identical* SMT queries:
+``SygusProblem.verify`` builds a fresh solver per candidate, the same
+initial candidate reappears across heights and sessions, and replayed
+corpora are full of shared incremental prefixes.  This module caches
+**decided** outcomes (SAT with a model, UNSAT with its assumption core) in
+one process-wide table so a duplicate query returns its recorded result
+without touching DPLL(T).
+
+**Key.**  A query's fingerprint hashes exactly the content of a
+``repro-smtq/1`` capture snapshot (:mod:`repro.smt.capture`): every
+asserted formula rendered with :func:`repro.lang.printer.to_sexpr`
+together with its free variables' sorts, a marker for a trivially-false
+assertion set, and the per-call assumptions.  Two solvers with the same
+fingerprint are running the same conjunction over the same-sorted
+variables, so the decision transfers.  Per-term digests are memoized on
+the interned :class:`~repro.lang.ast.Term`, and :class:`SmtSolver` folds
+the asserted-formula digests incrementally, so a hot incremental session
+pays one short hash per solve, not a re-render of its whole history.
+
+**Soundness.**  Only SAT/UNSAT results are stored: a budget or deadline
+abort (:class:`SolverBudgetExceeded`) describes the *run*, not the query,
+and propagates uncached.  SAT hits return a *copy* of the stored model
+(callers mutate counterexamples in place); UNSAT hits return the stored
+assumption core, whose terms are interned and therefore identical to the
+caller's assumption terms.  Capture mode bypasses the memo entirely so a
+recorded corpus always reflects real solves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.lang.ast import Term
+from repro.lang.printer import to_sexpr
+from repro.lang.traversal import free_vars
+
+#: Stored decisions per memo; oldest-touched entries are evicted first.
+DEFAULT_CAPACITY = 4096
+
+_term_digests: Dict[Term, bytes] = {}
+
+
+def term_digest(term: Term) -> bytes:
+    """The per-term fingerprint contribution (cached on the interned term).
+
+    Hashes the term's s-expression rendering — the exact text a
+    ``repro-smtq/1`` capture stores — plus its free variables with their
+    sorts, because two sort-distinct queries can render identically."""
+    digest = _term_digests.get(term)
+    if digest is None:
+        h = hashlib.sha256(to_sexpr(term).encode("utf-8"))
+        for v in sorted(free_vars(term), key=lambda t: t.payload):
+            h.update(f"\x00{v.payload}:{v.sort.name}".encode("utf-8"))
+        digest = _term_digests[term] = h.digest()
+    return digest
+
+
+class _Entry:
+    __slots__ = ("status", "model", "rounds", "unsat_core")
+
+    def __init__(
+        self,
+        status,
+        model: Optional[Dict],
+        rounds: int,
+        unsat_core: Tuple[Term, ...],
+    ) -> None:
+        self.status = status
+        self.model = model
+        self.rounds = rounds
+        self.unsat_core = unsat_core
+
+
+class QueryMemo:
+    """An LRU table of decided SMT query outcomes.
+
+    Hit/miss totals are kept locally (for reports) and mirrored into the
+    ambient metrics registry as ``smt.memo_hits`` / ``smt.memo_misses``
+    (:mod:`repro.obs`; free when telemetry is disabled)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: bytes):
+        """The cached :class:`~repro.smt.solver.Result`, or None.
+
+        A hit returns a *fresh* Result with a copied model — callers
+        mutate counterexample models in place and must never reach the
+        stored copy."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            obs.metrics().counter("smt.memo_misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.metrics().counter("smt.memo_hits").inc()
+        from repro.smt.solver import Result
+
+        model = dict(entry.model) if entry.model is not None else None
+        return Result(entry.status, model, entry.rounds, entry.unsat_core)
+
+    def store(self, key: bytes, result) -> None:
+        """Record a decided result; undecided outcomes are never stored."""
+        from repro.smt.solver import Status
+
+        if result.status not in (Status.SAT, Status.UNSAT):
+            return
+        model = dict(result.model) if result.model is not None else None
+        self._entries[key] = _Entry(
+            result.status, model, result.rounds, result.unsat_core
+        )
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+
+#: The process-wide default memo every :class:`SmtSolver` shares unless
+#: constructed with an explicit ``memo=`` (``None`` disables memoization —
+#: replay tooling does this to force true re-execution).
+_default = QueryMemo()
+
+
+def default_memo() -> QueryMemo:
+    return _default
+
+
+def reset_default_memo() -> None:
+    """Clear the process-wide memo (tests; isolation between corpora)."""
+    _default.reset()

@@ -25,6 +25,7 @@ from repro.lang.simplify import simplify
 from repro.lang.sorts import BOOL
 from repro.lang.traversal import free_vars
 from repro.smt import capture as _capture
+from repro.smt import memo as _memo
 from repro.smt.branch_bound import BudgetExceeded, check_lia
 from repro.smt.implicant import extract_implicant
 from repro.smt.simplex import pivots_total
@@ -94,11 +95,15 @@ class SmtSolver:
       removed, and everything learned while they were active survives.
     """
 
+    #: Sentinel: "use the process-wide default query memo".
+    USE_DEFAULT_MEMO = object()
+
     def __init__(
         self,
         max_rounds: int = 100000,
         lia_node_budget: int = 20000,
         deadline: Optional[float] = None,
+        memo: object = USE_DEFAULT_MEMO,
     ) -> None:
         self.max_rounds = max_rounds
         self.lia_node_budget = lia_node_budget
@@ -108,6 +113,14 @@ class SmtSolver:
         self._trivially_false = False
         self._scopes: List[int] = []  # activation literal per open scope
         self._scope_marks: List[int] = []  # encoder.asserted length at push
+        if memo is SmtSolver.USE_DEFAULT_MEMO:
+            memo = _memo.default_memo()
+        self.memo: Optional[_memo.QueryMemo] = memo  # type: ignore[assignment]
+        self._scopes_used = False
+        # Incremental fingerprint state over the asserted-formula prefix
+        # (see :meth:`_memo_key`); rebuilt from scratch after a pop().
+        self._fp_state = None
+        self._fp_count = 0
 
     def add(self, formula: Term) -> None:
         """Assert a formula (incremental interface).
@@ -135,6 +148,11 @@ class SmtSolver:
 
     def push(self) -> None:
         """Open an assertion scope; assertions until :meth:`pop` are scoped."""
+        # Scoped state (activation literals, scoped ``add(False)``) changes
+        # the query without changing the assertion list, which the memo
+        # fingerprint cannot see — so a solver that ever scoped is excluded
+        # from memoization for its lifetime.
+        self._scopes_used = True
         self._scopes.append(self._encoder.sat.new_var())
         self._scope_marks.append(len(self._encoder.asserted))
 
@@ -171,6 +189,9 @@ class SmtSolver:
         self._trivially_false = False
         self._scopes = []
         self._scope_marks = []
+        self._scopes_used = False
+        self._fp_state = None
+        self._fp_count = 0
 
     def check(self, formula: Term) -> Result:
         """Incremental satisfiability check: ``add(formula)`` then :meth:`solve`.
@@ -207,11 +228,58 @@ class SmtSolver:
 
         With query capture active (:func:`repro.smt.capture.capturing`, the
         ``--smt-corpus`` flag) the call is additionally serialized — query,
-        outcome, model and wall time — into the replayable corpus.
+        outcome, model and wall time — into the replayable corpus.  Capture
+        bypasses the query memo entirely: a recorded corpus must reflect
+        real solves.
+
+        When the solver carries a :class:`~repro.smt.memo.QueryMemo` (the
+        process-wide default unless constructed with ``memo=None``), a
+        query whose ``repro-smtq/1`` fingerprint matches a previously
+        *decided* query returns the cached status/model/core without
+        running DPLL(T); see :mod:`repro.smt.memo` for the soundness
+        argument.
         """
         if _capture.active() is not None:
             return self._solve_captured(assumptions)
-        return self._solve_dispatch(assumptions)
+        memo = self.memo
+        if memo is None or self._scopes_used:
+            return self._solve_dispatch(assumptions)
+        key = self._memo_key(assumptions)
+        cached = memo.lookup(key)
+        if cached is not None:
+            # A hit is still a check from the caller's perspective; rounds
+            # report the original solve's work, stats count no new rounds.
+            self.stats.checks += 1
+            return cached
+        result = self._solve_dispatch(assumptions)
+        memo.store(key, result)
+        return result
+
+    def _memo_key(self, assumptions: Sequence[Term]) -> bytes:
+        """The ``repro-smtq/1`` fingerprint of the active query.
+
+        Folds per-term digests (:func:`repro.smt.memo.term_digest`) of the
+        asserted prefix into a running hash that only advances with new
+        assertions — a :meth:`pop` shrinks the assertion list and forces a
+        rebuild — then mixes in the trivially-false marker and this call's
+        assumptions on a copy."""
+        import hashlib
+
+        asserted = self._encoder.asserted
+        if self._fp_state is None or self._fp_count > len(asserted):
+            self._fp_state = hashlib.sha256(_capture.FORMAT.encode("utf-8"))
+            self._fp_count = 0
+        state = self._fp_state
+        for term in asserted[self._fp_count:]:
+            state.update(_memo.term_digest(term))
+        self._fp_count = len(asserted)
+        h = state.copy()
+        if self._trivially_false:
+            h.update(b"\x01false")
+        for term in assumptions:
+            h.update(b"\x02")
+            h.update(_memo.term_digest(term))
+        return h.digest()
 
     def _solve_dispatch(self, assumptions: Sequence[Term]) -> Result:
         """Route to the plain/logged/traced solve path (see :meth:`solve`)."""

@@ -100,11 +100,79 @@ class SygusProblem:
                 return result
         raise ValueError("interpreted function expansion did not converge")
 
+    def _compiled_spec(self):
+        """The spec compiled with the synth-fun open (cached per instance)."""
+        cached = self.__dict__.get("_compiled_spec_cache")
+        if cached is None:
+            from repro.lang import compile as lang_compile
+
+            names = tuple(v.payload for v in self.variables)
+            spec_vars = {v.payload for v in free_vars(self.spec)}
+            extra = tuple(sorted(spec_vars - set(names)))
+            cached = lang_compile.compile_spec(
+                self.spec,
+                self.fun_name,
+                names + extra,
+                self.interpreted_defs(),
+            )
+            object.__setattr__(self, "_compiled_spec_cache", cached)
+        return cached
+
+    def _compiled_body(self, body: Term):
+        """A candidate body compiled over the synth-fun's parameter order."""
+        from repro.lang import compile as lang_compile
+
+        return lang_compile.compile_term(
+            body,
+            tuple(p.payload for p in self.synth_fun.params),
+            self.interpreted_defs(),
+        )
+
     def spec_holds(self, body: Term, env: Mapping[str, Value]) -> bool:
         """Concrete check: does the candidate satisfy the spec on ``env``?"""
+        result = self._compiled_spec().try_eval(self._compiled_body(body), env)
+        if result is not None:
+            return result
+        # Walker fallback: incomplete environments (and terms the codegen
+        # refuses) keep the AST walker's exact lazy semantics, including
+        # which EvaluationError surfaces.
         funcs = dict(self.interpreted_defs())
         funcs[self.fun_name] = (self.synth_fun.params, body)
         return bool(evaluate(self.spec, env, funcs))
+
+    def first_violation(
+        self, body: Term, examples: Sequence[Mapping[str, Value]]
+    ) -> Optional[Mapping[str, Value]]:
+        """The first example on which ``body`` violates the spec, or None.
+
+        This is the batch screening path of the CEGIS loops: one compiled
+        spec and one compiled candidate evaluate against the whole example
+        list in a tight loop, making a known-refuting counterexample far
+        cheaper to find than one SMT validity check."""
+        if not examples:
+            return None
+        spec = self._compiled_spec()
+        body_fn = self._compiled_body(body)
+        walker_funcs: Optional[Dict] = None
+        for env in examples:
+            result = spec.try_eval(body_fn, env)
+            if result is None:
+                if walker_funcs is None:
+                    walker_funcs = dict(self.interpreted_defs())
+                    walker_funcs[self.fun_name] = (
+                        self.synth_fun.params,
+                        body,
+                    )
+                result = bool(evaluate(self.spec, env, walker_funcs))
+            if not result:
+                return env
+        return None
+
+    def satisfies(
+        self, body: Term, examples: Sequence[Mapping[str, Value]]
+    ) -> bool:
+        """Batch check: ``body`` satisfies the spec on *every* example."""
+        return self.first_violation(body, examples) is None
 
     def verify(
         self, body: Term, deadline: Optional[float] = None

@@ -14,9 +14,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 from repro.obs import forensics
 from repro.lang.ast import Term
-from repro.lang.evaluator import Value
+from repro.lang.evaluator import EvaluationError, Value
 from repro.smt.solver import SolverBudgetExceeded
 from repro.sygus.problem import SygusProblem
+from repro.synth.examples import ExampleSet
 
 Example = Dict[str, Value]
 
@@ -44,8 +45,7 @@ def cegis(
     Raises:
         CegisTimeout: when the deadline expires mid-loop.
     """
-    if examples is None:
-        examples = []
+    examples = ExampleSet.wrap(examples)
     candidate = initial_candidate
     from_ind_synth = False
     if candidate is None:
@@ -62,16 +62,19 @@ def cegis(
             examples=len(examples),
         )
         _check_deadline(deadline)
-        try:
-            with obs.span("verify", problem=problem.name):
-                ok, counterexample = problem.verify(candidate, deadline)
-        except SolverBudgetExceeded as exc:
-            raise CegisTimeout(str(exc)) from exc
-        if ok:
-            return candidate, examples, iterations
+        # Compiled screening: a candidate refuted by a *known* example never
+        # needs the SMT validity check — reuse that example directly.
+        counterexample = _screen(problem, candidate, examples)
+        if counterexample is None:
+            try:
+                with obs.span("verify", problem=problem.name):
+                    ok, counterexample = problem.verify(candidate, deadline)
+            except SolverBudgetExceeded as exc:
+                raise CegisTimeout(str(exc)) from exc
+            if ok:
+                return candidate, examples, iterations
         assert counterexample is not None
-        if counterexample not in examples:
-            examples.append(counterexample)
+        if examples.add(counterexample):
             forensics.emit(
                 forensics.CEGIS_CEX,
                 iteration=iterations,
@@ -98,3 +101,17 @@ def cegis(
 def _check_deadline(deadline: Optional[float]) -> None:
     if deadline is not None and time.monotonic() > deadline:
         raise CegisTimeout("CEGIS deadline exceeded")
+
+
+def _screen(
+    problem: SygusProblem, candidate: Term, examples: ExampleSet
+) -> Optional[Example]:
+    """A known example refuting ``candidate``, found by compiled evaluation.
+
+    Any evaluation failure simply defers to the SMT verifier — screening is
+    a fast path, never a gatekeeper."""
+    try:
+        violation = problem.first_violation(candidate, examples)
+    except EvaluationError:
+        return None
+    return dict(violation) if violation is not None else None

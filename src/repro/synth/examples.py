@@ -1,0 +1,108 @@
+"""A type-aware counterexample set with O(1) membership.
+
+Every CEGIS loop in this repo deduplicates counterexamples before growing
+the inductive example set.  The naive ``example not in examples`` check has
+two defects this class fixes once, for all callers:
+
+- **Bool/Int collision.**  Python defines ``True == 1`` and
+  ``hash(True) == hash(1)``, so dict equality makes the Bool-valued model
+  ``{"b": True}`` collide with the Int-valued ``{"b": 1}``.  A CEGIS loop
+  that already holds one of them silently drops the other — and because the
+  "duplicate counterexample from ind-synth" branch means *exhausted*, the
+  collision can abandon a solvable search.  Membership here is keyed on
+  ``(name, is-bool, value)`` triples, which keep the two models distinct.
+- **O(n) scan per round.**  The list scan made every CEGIS round linear in
+  the example count; membership here is one set probe.
+
+The set *wraps* an underlying list rather than replacing it: callers share
+example lists across sessions and heights (``cegis`` documents that its
+``examples`` argument is mutated in place), and wrapping preserves that
+contract — appends through the wrapper land in the caller's list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.lang.evaluator import Value
+
+Example = Dict[str, Value]
+
+
+def example_key(example: Example) -> Tuple:
+    """A hashable, *typed* identity for an example.
+
+    ``True`` and ``1`` (and ``False`` and ``0``) map to distinct keys; the
+    name sorts first so dict insertion order never matters."""
+    return tuple(
+        sorted(
+            (name, value.__class__ is bool, value)
+            for name, value in example.items()
+        )
+    )
+
+
+class ExampleSet:
+    """A list of examples plus a typed membership index.
+
+    Quacks enough like ``List[Example]`` (len/iter/index/slice/append) for
+    every call site that previously held a plain list, while ``add`` and
+    ``__contains__`` run off the index."""
+
+    __slots__ = ("_examples", "_keys")
+
+    def __init__(self, examples: Optional[List[Example]] = None) -> None:
+        if examples is None:
+            examples = []
+        elif not isinstance(examples, list):
+            examples = list(examples)
+        self._examples = examples
+        self._keys = {example_key(example) for example in examples}
+
+    @classmethod
+    def wrap(
+        cls, examples: Union[None, "ExampleSet", List[Example]]
+    ) -> "ExampleSet":
+        """Wrap a caller's list (idempotent on an existing ExampleSet)."""
+        if isinstance(examples, cls):
+            return examples
+        return cls(examples)
+
+    def add(self, example: Example) -> bool:
+        """Append if novel; returns True when the example was new."""
+        key = example_key(example)
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._examples.append(example)
+        return True
+
+    def append(self, example: Example) -> None:
+        """List-compatible spelling of :meth:`add` (duplicates dropped)."""
+        self.add(example)
+
+    def extend(self, examples: Iterable[Example]) -> None:
+        for example in examples:
+            self.add(example)
+
+    def __contains__(self, example: object) -> bool:
+        if not isinstance(example, dict):
+            return False
+        return example_key(example) in self._keys
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self._examples)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[Example, List[Example]]:
+        return self._examples[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._examples)
+
+    def __repr__(self) -> str:
+        return f"ExampleSet({self._examples!r})"

@@ -24,6 +24,7 @@ from repro.smt.solver import SmtSolver, SolverBudgetExceeded, Status
 from repro.sygus.problem import Solution, SygusProblem
 from repro.synth.cegis import CegisTimeout, Example, cegis
 from repro.synth.config import SynthConfig
+from repro.synth.examples import ExampleSet
 from repro.synth.encoding import (
     CliaTreeEncoder,
     EncodingUnsupported,
@@ -198,6 +199,7 @@ class FixedHeightSession:
         self, examples: List[Example], deadline: Optional[float]
     ) -> Optional[Term]:
         problem, stats = self.problem, self.stats
+        examples = ExampleSet.wrap(examples)
         while self.rounds < self.config.max_cegis_rounds:
             self._check_deadline(deadline)
             self.rounds += 1
@@ -208,18 +210,24 @@ class FixedHeightSession:
                 height=self.height,
                 examples=len(examples),
             )
-            try:
-                with obs.span("verify", problem=problem.name,
-                              height=self.height):
-                    ok, counterexample = problem.verify(self.candidate, deadline)
-            except SolverBudgetExceeded as exc:
-                self.rounds -= 1
-                raise CegisTimeout(str(exc)) from exc
-            if ok:
-                return self.candidate
+            # Compiled screening: after preemption or a height bump the
+            # shared example pool may already refute this candidate — catch
+            # that with compiled evaluation instead of an SMT validity check.
+            counterexample = self._screen(examples)
+            if counterexample is None:
+                try:
+                    with obs.span("verify", problem=problem.name,
+                                  height=self.height):
+                        ok, counterexample = problem.verify(
+                            self.candidate, deadline
+                        )
+                except SolverBudgetExceeded as exc:
+                    self.rounds -= 1
+                    raise CegisTimeout(str(exc)) from exc
+                if ok:
+                    return self.candidate
             assert counterexample is not None
-            if counterexample not in examples:
-                examples.append(counterexample)
+            if examples.add(counterexample):
                 forensics.emit(
                     forensics.CEGIS_CEX,
                     iteration=self.rounds,
@@ -243,6 +251,14 @@ class FixedHeightSession:
     def _check_deadline(self, deadline: Optional[float]) -> None:
         if deadline is not None and time.monotonic() > deadline:
             raise CegisTimeout("fixed-height deadline exceeded")
+
+    def _screen(self, examples: ExampleSet) -> Optional[Example]:
+        """A known example refuting the current candidate, or None."""
+        try:
+            violation = self.problem.first_violation(self.candidate, examples)
+        except EvaluationError:
+            return None
+        return dict(violation) if violation is not None else None
 
     def _bound_guard(self, solver: SmtSolver, const_bound: int) -> Term:
         """The assumption literal activating ``const_bound``'s constraints.

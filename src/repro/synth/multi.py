@@ -22,6 +22,7 @@ from repro.lang.traversal import rewrite_bottom_up
 from repro.smt.solver import SmtSolver, SolverBudgetExceeded, Status
 from repro.sygus.multi import MultiSolution, MultiSygusProblem
 from repro.synth.cegis import CegisTimeout
+from repro.synth.examples import ExampleSet
 from repro.synth.config import SynthConfig
 from repro.synth.cooperative import CooperativeSynthesizer
 from repro.synth.encoding import EncodingUnsupported
@@ -94,7 +95,7 @@ class MultiFunctionSynthesizer:
         stats: SynthesisStats,
     ) -> Optional[Dict[str, Term]]:
         config = self.config
-        examples: List[Dict] = []
+        examples = ExampleSet()
         for height in range(1, config.max_height + 1):
             stats.heights_tried += 1
             bodies = self._joint_fixed_height(
@@ -157,8 +158,7 @@ class MultiFunctionSynthesizer:
             if ok:
                 return dict(candidates)
             assert counterexample is not None
-            if counterexample not in examples:
-                examples.append(counterexample)
+            if examples.add(counterexample):
                 solver.add(
                     self._example_query(problem, encoders, counterexample)
                 )

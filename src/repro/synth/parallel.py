@@ -29,6 +29,7 @@ from repro.smt.solver import SolverBudgetExceeded
 from repro.sygus.problem import Solution, SygusProblem
 from repro.synth.cegis import CegisTimeout, Example
 from repro.synth.config import SynthConfig
+from repro.synth.examples import ExampleSet
 from repro.synth.encoding import EncodingUnsupported
 from repro.synth.fixed_height import fixed_height
 from repro.synth.result import SynthesisOutcome, SynthesisStats
@@ -39,7 +40,7 @@ class _SharedExamples:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._examples: List[Example] = []
+        self._examples = ExampleSet()
 
     def snapshot(self) -> List[Example]:
         with self._lock:
@@ -48,8 +49,7 @@ class _SharedExamples:
     def merge(self, examples: List[Example]) -> None:
         with self._lock:
             for example in examples:
-                if example not in self._examples:
-                    self._examples.append(example)
+                self._examples.add(example)
 
 
 class ParallelHeightSynthesizer:

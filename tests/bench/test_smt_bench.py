@@ -1,0 +1,170 @@
+"""The solver-only corpus benchmark: history records, gating, CLI."""
+
+import json
+
+from repro.bench import history as bench_history
+from repro.cli import main
+from repro.lang import add, and_, ge, int_var, le
+from repro.smt import SmtSolver, capture
+
+x, y = int_var("x"), int_var("y")
+
+
+def _smt_bench_report(**overrides):
+    report = {
+        "queries": 40,
+        "files": 4,
+        "skipped": 1,
+        "divergences": 0,
+        "replayed_wall": 2.0,
+        "latency": {"p50": 0.01, "p90": 0.05, "p99": 0.2},
+        "memo": {"hits": 12, "misses": 28},
+    }
+    report.update(overrides)
+    return report
+
+
+def _record(**overrides):
+    return bench_history.record_from_smt_bench(_smt_bench_report(**overrides))
+
+
+class TestSmtBenchRecord:
+    def test_shape(self):
+        record = _record()
+        assert record["mode"] == "smt-bench"
+        assert record["solver"] == "smt-core"
+        assert record["solved"] == []
+        assert record["wall_seconds"] == 2.0
+        assert record["smt_bench"]["memo"] == {"hits": 12, "misses": 28}
+        assert record["format"] == bench_history.HISTORY_FORMAT
+
+    def test_round_trip_through_store(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        bench_history.append_history(path, _record())
+        loaded = bench_history.load_history(path)
+        assert len(loaded) == 1
+        assert loaded[0]["mode"] == "smt-bench"
+
+
+class TestSmtBenchGate:
+    def test_identical_run_passes(self):
+        comparison = bench_history.compare(_record(), [_record()])
+        assert comparison.ok
+        assert comparison.smt_wall_growth == 0.0
+
+    def test_wall_growth_beyond_budget_is_a_regression(self):
+        comparison = bench_history.compare(
+            _record(replayed_wall=3.0), [_record()], max_wall_growth=0.15
+        )
+        assert not comparison.ok
+        assert any("replay wall growth" in r for r in comparison.regressions)
+
+    def test_divergences_are_a_regression(self):
+        comparison = bench_history.compare(
+            _record(divergences=2), [_record()]
+        )
+        assert not comparison.ok
+        assert any("diverged" in r for r in comparison.regressions)
+
+    def test_different_corpus_size_excluded_from_wall_gate(self):
+        comparison = bench_history.compare(
+            _record(queries=80, replayed_wall=4.0), [_record()]
+        )
+        assert comparison.ok
+        assert comparison.smt_wall_baseline is None
+        assert any("different corpus size" in n for n in comparison.notes)
+
+    def test_never_gates_against_quick_bench_records(self):
+        batch = {
+            "format": bench_history.HISTORY_FORMAT,
+            "solver": "dryadsynth",
+            "timeout_seconds": 2.0,
+            "solved": ["a"],
+            "per_problem": {"a": {"solved": True, "wall": 0.5}},
+        }
+        comparison = bench_history.compare(_record(), [batch])
+        assert comparison.ok
+        assert comparison.baseline_runs == 0
+
+
+def _write_corpus(directory):
+    """Capture a tiny real corpus: two solves, one repeated across files."""
+    with capture.capturing(str(directory), "alpha"):
+        solver = SmtSolver()
+        solver.add(and_(ge(add(x, y), 5), le(x, 3), le(y, 4)))
+        assert solver.solve().model is not None
+    with capture.capturing(str(directory), "beta"):
+        solver = SmtSolver()
+        solver.add(and_(ge(add(x, y), 5), le(x, 3), le(y, 4)))
+        solver.solve()
+        solver.add(ge(x, 100))
+        solver.solve()
+
+
+class TestSmtBenchCli:
+    def test_replays_records_and_appends(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        _write_corpus(corpus)
+        history = tmp_path / "history.jsonl"
+        jsonl = tmp_path / "per_file.jsonl"
+        record_out = tmp_path / "record.json"
+        code = main([
+            "smt-bench",
+            str(corpus),
+            "--against", str(history),
+            "--append",
+            "--jsonl", str(jsonl),
+            "--record-out", str(record_out),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero divergences" in out
+        assert "query memo: enabled" in out
+        # The beta file repeats alpha's query: the shared memo must hit.
+        assert "hits=0" not in out
+
+        rows = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+            if line
+        ]
+        assert len(rows) == 2
+        assert sum(r["queries"] for r in rows) == 3
+        assert sum(r["memo_hits"] for r in rows) >= 1
+
+        record = json.loads(record_out.read_text())
+        assert record["mode"] == "smt-bench"
+        assert record["smt_bench"]["divergences"] == 0
+
+        appended = bench_history.load_history(str(history))
+        assert len(appended) == 1
+
+        # Second run gates against the appended record and still passes
+        # (identical workload; generous growth budget absorbs jitter).
+        code = main([
+            "smt-bench",
+            str(corpus),
+            "--against", str(history),
+            "--max-wall-growth", "25.0",
+        ])
+        assert code == 0
+        assert "baseline: trailing 1 run(s)" in capsys.readouterr().out
+
+    def test_no_memo_flag(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        _write_corpus(corpus)
+        code = main([
+            "smt-bench", str(corpus),
+            "--against", str(tmp_path / "history.jsonl"),
+            "--no-memo",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query memo: disabled" in out
+        assert "hits=0 misses=0" in out
+
+    def test_missing_corpus_is_usage_error(self, tmp_path, capsys):
+        code = main(["smt-bench", str(tmp_path / "nope")])
+        assert code == 2

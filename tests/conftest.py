@@ -1,0 +1,19 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+from repro.smt import memo as smt_memo
+
+
+@pytest.fixture(autouse=True)
+def _reset_query_memo():
+    """Isolate tests from the process-wide SMT query memo.
+
+    The memo is deliberately shared across solver instances (that is the
+    whole point), but cross-test sharing would make round/check-count
+    assertions order-dependent: an earlier test solving the same query
+    would turn a later test's solves into zero-round cache hits.
+    """
+    smt_memo.reset_default_memo()
+    yield
+    smt_memo.reset_default_memo()

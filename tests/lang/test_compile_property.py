@@ -1,0 +1,153 @@
+"""Property suite: the compiled evaluator agrees with the AST walker.
+
+Randomized CLIA terms, environments (including *partial* environments),
+and interpreted definitions — on every draw, :mod:`repro.lang.compile`
+must produce the same value as :mod:`repro.lang.evaluator`, including
+raising :class:`EvaluationError` in exactly the same cases (unbound
+variables reached through lazy ``ite``/``and``/``or`` structure).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.builders import (
+    add,
+    apply_fn,
+    and_,
+    bool_var,
+    eq,
+    ge,
+    implies,
+    int_const,
+    int_var,
+    ite,
+    le,
+    lt,
+    mul,
+    neg,
+    not_,
+    or_,
+    sub,
+)
+from repro.lang.compile import compile_term
+from repro.lang.evaluator import EvaluationError, evaluate
+from repro.lang.sorts import INT
+
+VAR_NAMES = ("x", "y", "z")
+_INT_VARS = tuple(int_var(n) for n in VAR_NAMES)
+_BOOL_VARS = (bool_var("p"), bool_var("q"))
+
+#: Interpreted definitions exercised by the APP branch: a non-recursive
+#: helper and a recursive one, both over a single Int parameter.
+_A = int_var("a")
+FUNCS = {
+    "twice": ((_A,), add(_A, _A)),
+    # Guarded on both sides so random (possibly huge) arguments keep the
+    # recursion depth tiny in walker and compiled form alike.
+    "tri": (
+        (_A,),
+        ite(
+            or_(le(_A, 0), ge(_A, 12)),
+            int_const(0),
+            add(_A, apply_fn("tri", [sub(_A, 1)], INT)),
+        ),
+    ),
+}
+
+
+@st.composite
+def int_terms(draw, depth=4):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return int_const(draw(st.integers(-8, 8)))
+        return draw(st.sampled_from(_INT_VARS))
+    op = draw(
+        st.sampled_from(["add", "sub", "mul", "neg", "ite", "app"])
+    )
+    if op == "neg":
+        return neg(draw(int_terms(depth=depth - 1)))
+    if op == "app":
+        name = draw(st.sampled_from(sorted(FUNCS)))
+        return apply_fn(name, [draw(int_terms(depth=depth - 1))], INT)
+    a = draw(int_terms(depth=depth - 1))
+    b = draw(int_terms(depth=depth - 1))
+    if op == "add":
+        return add(a, b)
+    if op == "sub":
+        return sub(a, b)
+    if op == "mul":
+        return mul(a, b)
+    cond = draw(bool_terms(depth=min(depth - 1, 2)))
+    return ite(cond, a, b)
+
+
+@st.composite
+def bool_terms(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(_BOOL_VARS))
+        cmp_op = draw(st.sampled_from([ge, le, lt, eq]))
+        return cmp_op(
+            draw(int_terms(depth=1)), draw(int_terms(depth=1))
+        )
+    shape = draw(st.sampled_from(["not", "and", "or", "implies"]))
+    a = draw(bool_terms(depth=depth - 1))
+    if shape == "not":
+        return not_(a)
+    b = draw(bool_terms(depth=depth - 1))
+    if shape == "and":
+        return and_(a, b)
+    if shape == "or":
+        return or_(a, b)
+    return implies(a, b)
+
+
+@st.composite
+def environments(draw):
+    """Randomized environments, possibly missing some variables."""
+    env = {}
+    for name in VAR_NAMES:
+        if draw(st.booleans()):
+            env[name] = draw(st.integers(-10, 10))
+    for name in ("p", "q"):
+        if draw(st.booleans()):
+            env[name] = draw(st.booleans())
+    return env
+
+
+def _assert_parity(term, env):
+    try:
+        expected = evaluate(term, env, FUNCS)
+        failed = False
+    except EvaluationError:
+        failed = True
+    compiled = compile_term(term, funcs=FUNCS)
+    if failed:
+        try:
+            compiled.eval(env)
+        except EvaluationError:
+            return
+        raise AssertionError(
+            f"walker raised, compiled did not: {term!r} under {env!r}"
+        )
+    got = compiled.eval(env)
+    assert got == expected, f"{term!r} under {env!r}: {got} != {expected}"
+    assert type(got) is type(expected)
+
+
+@given(int_terms(), environments())
+@settings(max_examples=300, deadline=None)
+def test_int_terms_agree_with_walker(term, env):
+    _assert_parity(term, env)
+
+
+@given(bool_terms(), environments())
+@settings(max_examples=300, deadline=None)
+def test_bool_terms_agree_with_walker(term, env):
+    _assert_parity(term, env)
+
+
+@given(int_terms())
+@settings(max_examples=150, deadline=None)
+def test_empty_environment_parity(term):
+    """EvaluationError parity in the fully unbound extreme."""
+    _assert_parity(term, {})

@@ -1,0 +1,84 @@
+"""Regression: interpreted-function applications must share one memo.
+
+The walker used to build a *fresh* cache for every application body, so a
+tower of interpreted definitions where each level calls the previous one
+twice re-evaluated the whole tower at every level — exponential work for a
+linearly sized program.  The fix threads a single application cache (keyed
+by function name and typed actuals) through the entire evaluation.  The
+call-count probe below fails on the old evaluator with an astronomically
+larger count.
+"""
+
+from repro.lang import evaluator
+from repro.lang.builders import (
+    add,
+    apply_fn,
+    int_const,
+    int_var,
+    sub,
+)
+from repro.lang.evaluator import evaluate
+from repro.lang.sorts import INT
+
+DEPTH = 14
+
+
+def _tower_funcs(depth):
+    """f1(p) = p;  f_{k+1}(p) = f_k(p) + f_k(p - 0).
+
+    The two call sites are *distinct terms* (``p`` vs ``p - 0``), so the
+    per-environment term cache cannot merge them — but they apply the same
+    function to the same value, which only the application cache catches.
+    """
+    p = int_var("p")
+    funcs = {"f1": ((p,), p)}
+    for k in range(1, depth):
+        body = add(
+            apply_fn(f"f{k}", [p], INT),
+            apply_fn(f"f{k}", [sub(p, int_const(0))], INT),
+        )
+        funcs[f"f{k + 1}"] = ((p,), body)
+    return funcs
+
+
+class TestApplicationCacheSharing:
+    def test_call_count_stays_linear_in_tower_depth(self, monkeypatch):
+        calls = {"n": 0}
+        real = evaluator._eval
+
+        def probe(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        # _eval recurses through the module global, so the probe counts
+        # every node visit, including inside function bodies.
+        monkeypatch.setattr(evaluator, "_eval", probe)
+
+        funcs = _tower_funcs(DEPTH)
+        top = apply_fn(f"f{DEPTH}", [int_var("x")], INT)
+        assert evaluate(top, {"x": 3}, funcs) == 3 * 2 ** (DEPTH - 1)
+        # Shared app cache: each level's body evaluates once (~8 node visits
+        # per level).  The old per-application cache visited > 2**DEPTH
+        # nodes; leave generous headroom so the bound is not brittle.
+        assert calls["n"] < 40 * DEPTH
+
+    def test_app_cache_results_are_correct_across_call_sites(self):
+        funcs = _tower_funcs(6)
+        top = apply_fn("f6", [add(int_var("x"), int_const(1))], INT)
+        assert evaluate(top, {"x": 4}, funcs) == 5 * 2**5
+
+    def test_app_cache_keys_are_typed(self):
+        # hash(True) == hash(1): the cache key must not conflate a Bool
+        # actual with an Int actual.
+        p = int_var("p")
+        funcs = {"f": ((p,), p)}
+        term = add(
+            apply_fn("f", [int_const(1)], INT),
+            apply_fn("f", [int_var("b")], INT),
+        )
+        # With b=True the second application must not be served the cached
+        # result *object identity aside* — values agree numerically, but the
+        # key must distinguish them so bool-sorted results keep their type.
+        cache: evaluator.AppCache = {}
+        evaluator._eval(term, {"b": True}, funcs, {}, cache)
+        assert len(cache) == 2

@@ -1,0 +1,103 @@
+"""Type-aware counterexample dedup (:mod:`repro.synth.examples`).
+
+The CEGIS loops used to test membership with ``counterexample in examples``
+— dict equality, where ``{"x": True} == {"x": 1}`` because Python booleans
+compare equal to integers.  A Bool-sorted model could therefore be dropped
+as a "duplicate" of an Int-sorted one, prematurely declaring the candidate
+space exhausted.  :class:`ExampleSet` keys members on ``(name, is-bool,
+value)`` tuples, so the collision cannot happen, and membership is O(1).
+"""
+
+from repro.lang.builders import int_const
+from repro.synth.cegis import cegis
+from repro.synth.examples import ExampleSet, example_key
+
+
+class TestExampleKey:
+    def test_bool_and_int_do_not_collide(self):
+        assert example_key({"x": True}) != example_key({"x": 1})
+        assert example_key({"x": False}) != example_key({"x": 0})
+
+    def test_equal_examples_share_a_key(self):
+        assert example_key({"x": 1, "y": 2}) == example_key({"y": 2, "x": 1})
+
+
+class TestExampleSet:
+    def test_add_returns_true_only_for_new(self):
+        s = ExampleSet()
+        assert s.add({"x": 1})
+        assert not s.add({"x": 1})
+        assert len(s) == 1
+
+    def test_bool_int_regression(self):
+        """Pre-fix failing: {"x": True} was swallowed as a dup of {"x": 1}."""
+        s = ExampleSet()
+        assert s.add({"x": 1})
+        assert s.add({"x": True})
+        assert len(s) == 2
+        assert {"x": 1} in s
+        assert {"x": True} in s
+
+    def test_wrap_shares_the_underlying_list(self):
+        shared = [{"x": 1}]
+        s = ExampleSet.wrap(shared)
+        s.add({"x": 2})
+        # The in-place mutation contract: callers holding the original list
+        # (parallel height search) observe additions.
+        assert shared == [{"x": 1}, {"x": 2}]
+
+    def test_wrap_is_idempotent(self):
+        s = ExampleSet()
+        assert ExampleSet.wrap(s) is s
+
+    def test_wrap_none_is_empty(self):
+        assert len(ExampleSet.wrap(None)) == 0
+
+    def test_sequence_protocol(self):
+        s = ExampleSet([{"x": 1}, {"x": 2}])
+        assert len(s) == 2
+        assert list(s) == [{"x": 1}, {"x": 2}]
+        assert not s.add({"x": 2})  # seeded members index on construction
+        assert s[0] == {"x": 1}
+        assert s[1:] == [{"x": 2}]
+        assert bool(s)
+        assert not bool(ExampleSet())
+
+    def test_contains_non_dict_is_false(self):
+        assert 7 not in ExampleSet([{"x": 1}])
+
+
+class _BoolIntProblem:
+    """Stub problem whose verifier emits an Int model then a Bool model."""
+
+    name = "bool-int-regression"
+
+    def __init__(self):
+        self.models = [{"x": 1}, {"x": True}]
+
+    def first_violation(self, body, examples):
+        return None  # always route through "SMT" verification
+
+    def verify(self, candidate, deadline=None):
+        if self.models:
+            return False, self.models.pop(0)
+        return True, None
+
+
+class TestCegisBoolIntCollision:
+    def test_bool_model_after_int_model_makes_progress(self):
+        """Pre-fix failing: the loop declared exhaustion on {"x": True}.
+
+        Old behaviour: ``{"x": True} in [{"x": 1}]`` was True (dict
+        equality), the counterexample looked like a duplicate, and CEGIS
+        returned None.  With typed dedup the loop records both models and
+        converges on the third round.
+        """
+        problem = _BoolIntProblem()
+        candidate, examples, iterations = cegis(
+            problem, lambda examples: int_const(0), max_rounds=10
+        )
+        assert candidate is not None
+        assert iterations == 3
+        assert len(examples) == 2
+        assert {"x": 1} in examples and {"x": True} in examples
