@@ -209,6 +209,10 @@ def main(argv: Optional[list] = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.serve.top import main as top_main
+
+        return top_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
     if argv and argv[0] == "postmortem":
@@ -665,6 +669,30 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         help="emit structured JSON log lines (repro-log/1) to PATH, "
         "or to stderr with '-'",
     )
+    parser.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        default=None,
+        help="on drain, dump the daemon's merged span stream (request "
+        "spans + re-rooted worker trees) as JSONL for `dryadsynth "
+        "explain` / `dryadsynth profile --trace-chrome`",
+    )
+    parser.add_argument(
+        "--slo-objective",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="latency objective for the SLO layer (default: the per-job "
+        "timeout)",
+    )
+    parser.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.95,
+        metavar="FRACTION",
+        help="fraction of requests that must meet the objective "
+        "(default: 0.95)",
+    )
     return parser
 
 
@@ -673,11 +701,19 @@ def _serve_main(argv) -> int:
 
     from repro import obs
     from repro.serve import ServeSettings, SynthesisDaemon, build_server
+    from repro.serve.slo import SloPolicy
     from repro.service.cache import ResultCache
 
     args = build_serve_arg_parser().parse_args(argv)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    with _json_logging(args), obs.recording():
+    slo = SloPolicy(
+        objective_seconds=(
+            args.slo_objective if args.slo_objective is not None
+            else args.timeout
+        ),
+        target=args.slo_target,
+    )
+    with _json_logging(args), obs.recording() as recorder:
         settings = ServeSettings(
             workers=args.jobs,
             solver=args.solver,
@@ -688,6 +724,7 @@ def _serve_main(argv) -> int:
             flight_dir=args.flight_dir,
             retries=args.retries,
             telemetry=args.telemetry,
+            slo=slo,
         )
         daemon = SynthesisDaemon(settings)
         try:
@@ -727,6 +764,11 @@ def _serve_main(argv) -> int:
             f"{daemon.shed} shed, {daemon.rejected} rejected",
             file=sys.stderr,
         )
+        if args.spans_out and recorder is not None:
+            from repro.obs.export import write_spans_jsonl
+
+            write_spans_jsonl(recorder, args.spans_out)
+            print(f"wrote span dump to {args.spans_out}", file=sys.stderr)
     return 0
 
 

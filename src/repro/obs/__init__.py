@@ -37,7 +37,13 @@ from contextlib import contextmanager
 from dataclasses import fields as _dataclass_fields
 from typing import Dict, Optional
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
 from repro.obs.spans import (
     NULL_SPAN,
     ObsEvent,
@@ -51,6 +57,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ObsEvent",
+    "QuantileSketch",
     "Span",
     "SpanRecorder",
     "active",
@@ -148,20 +155,30 @@ def merge_job_telemetry(
     name: str = "job",
     status: str = "",
     wall_time: Optional[float] = None,
-) -> None:
+    parent_id: Optional[int] = None,
+    attrs: Optional[Dict] = None,
+) -> Optional[int]:
     """Fold one worker's serialized telemetry into the ambient recorder.
 
     No-op when telemetry is disabled or the payload is empty.  The worker's
     span tree is re-rooted under a ``job`` span carrying the job's name and
-    status; its metric snapshot merges into the ambient registry.
+    status (plus any extra ``attrs`` — the daemon stamps trace ids here);
+    ``parent_id`` nests that root under an existing span, how a
+    ``serve.request`` span adopts its worker tree.  Its metric snapshot
+    merges into the ambient registry.  Returns the grafted root span id.
     """
     recorder = _active
     if recorder is None or not telemetry:
-        return
-    recorder.merge_serialized(
+        return None
+    root_attrs = {"name": name, "status": status}
+    if attrs:
+        root_attrs.update(attrs)
+    root_id = recorder.merge_serialized(
         telemetry.get("spans"),
         root_name="job",
-        attrs={"name": name, "status": status},
+        attrs=root_attrs,
         wall=wall_time,
+        parent_id=parent_id,
     )
     recorder.metrics.merge(telemetry.get("metrics"))
+    return root_id

@@ -68,6 +68,20 @@ class RuleRow:
 
 
 @dataclass
+class RequestRow:
+    """One daemon request (``serve.request`` span) found in the stream."""
+
+    trace_id: Optional[str]
+    serve_id: Optional[str]
+    client: Optional[str]
+    problem: Optional[str]
+    status: Optional[str]
+    latency: float
+    queue_wait: float = 0.0
+    from_cache: bool = False
+
+
+@dataclass
 class ExplainReport:
     """The computed explanation."""
 
@@ -79,6 +93,7 @@ class ExplainReport:
     solved: bool
     frontier: List[NodeReport]
     truncated: bool = False
+    requests: List[RequestRow] = field(default_factory=list)
 
     def attributed_wall(self) -> float:
         return self.run_self_wall + sum(n.self_wall for n in self.nodes.values())
@@ -222,6 +237,29 @@ def build_explain(
             if report is not None and attrs.get("cex") is not None:
                 report.last_cex = str(attrs["cex"])
 
+    # -- Daemon requests: serve.request spans minted at HTTP admission ------
+    requests: List[RequestRow] = []
+    for span in spans:
+        if span.name != "serve.request":
+            continue
+        queue_wait = 0.0
+        for child in spans:
+            if child.parent_id == span.span_id and child.name == "serve.queue_wait":
+                queue_wait += child.wall
+        requests.append(
+            RequestRow(
+                trace_id=span.attrs.get("trace_id"),
+                serve_id=span.attrs.get("serve_id"),
+                client=span.attrs.get("client"),
+                problem=span.attrs.get("problem"),
+                status=span.attrs.get("job_status"),
+                latency=span.wall,
+                queue_wait=queue_wait,
+                from_cache=bool(span.attrs.get("from_cache")),
+            )
+        )
+    requests.sort(key=lambda row: -row.latency)
+
     solved = bool(roots) and all(nodes[r].solved for r in roots)
     unsolved = [nodes[n] for n in order if not nodes[n].solved]
     unsolved.sort(key=lambda n: (-n.depth, -n.self_wall))
@@ -239,6 +277,7 @@ def build_explain(
         solved=solved,
         frontier=frontier,
         truncated=truncated,
+        requests=requests,
     )
 
 
@@ -311,6 +350,25 @@ def render_explain(report: ExplainReport) -> str:
         f"   {RUN_BUCKET}  self {report.run_self_wall:.3f}s ({run_pct:.1f}%)"
         "  [parsing, queues, bookkeeping]"
     )
+
+    if report.requests:
+        lines.append("")
+        lines.append("daemon requests (slowest first):")
+        lines.append(
+            f"  {'trace_id':<32} {'client':<12} {'problem':<20} "
+            f"{'status':<8} {'queue':>8} {'latency':>8}"
+        )
+        for row in report.requests:
+            status = row.status or "?"
+            if row.from_cache:
+                status += "*"
+            lines.append(
+                f"  {row.trace_id or '-':<32} {row.client or '-':<12} "
+                f"{row.problem or '-':<20} {status:<8} "
+                f"{row.queue_wait:>7.3f}s {row.latency:>7.3f}s"
+            )
+        if any(row.from_cache for row in report.requests):
+            lines.append("  (* = served from the result cache)")
 
     if report.rules:
         lines.append("")

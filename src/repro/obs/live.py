@@ -214,8 +214,19 @@ class TelemetryServer:
             try:
                 payload.update(self.health_extra())
             except Exception as exc:  # noqa: BLE001 - health must not 500
+                # Keep degraded replies machine-readable even when the
+                # provider itself is the failure: name the condition the
+                # same way the daemon's health() names its own.
+                detail = f"{type(exc).__name__}: {exc}"
                 payload["status"] = "degraded"
-                payload["error"] = f"{type(exc).__name__}: {exc}"
+                payload["error"] = detail
+                payload.setdefault("conditions", {})["health_provider_error"] = {
+                    "tripped": True,
+                    "error": detail,
+                }
+                payload.setdefault("reasons", []).append(
+                    f"health provider raised: {detail}"
+                )
         return payload
 
     def _jobs(self) -> Dict:

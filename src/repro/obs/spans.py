@@ -286,6 +286,47 @@ class SpanRecorder:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def record_span(
+        self,
+        name: str,
+        *,
+        wall: float,
+        start: Optional[float] = None,
+        parent_id: Optional[int] = None,
+        status: str = "ok",
+        cpu: float = 0.0,
+        **attrs,
+    ) -> Optional[int]:
+        """Record a span retroactively, without having held it open.
+
+        The serving daemon uses this for phases whose start and end happen
+        on different threads (queue wait: admission thread → dispatcher
+        thread), where a context manager cannot straddle the boundary.
+        ``start`` is seconds since the recorder's epoch; when omitted the
+        span is back-dated ``wall`` seconds from now.  Returns the span id
+        (None while recording is disabled).
+        """
+        if not self.enabled:
+            return None
+        now_rel = time.monotonic() - self.epoch
+        if start is None:
+            start = max(0.0, now_rel - wall)
+        span_id = next(self._ids)
+        self._finish(
+            Span(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                start=start,
+                wall=wall,
+                cpu=cpu,
+                attrs=_coerce_attrs(attrs),
+                status=status,
+                pid=self.pid,
+            )
+        )
+        return span_id
+
     # -- Serialization and cross-process merge ----------------------------------
 
     def to_json(self) -> Dict:
@@ -304,6 +345,7 @@ class SpanRecorder:
         root_name: str = "job",
         attrs: Optional[Dict] = None,
         wall: Optional[float] = None,
+        parent_id: Optional[int] = None,
     ) -> Optional[int]:
         """Graft a serialized child recorder under a synthetic root span.
 
@@ -312,7 +354,10 @@ class SpanRecorder:
         deterministic) and a start offset placing them inside the root.  The
         root's start is back-dated by ``wall`` from *now* — the parent does
         not share a clock with the worker, so this is the best alignment
-        available.  Returns the new root span id (None for empty payloads).
+        available.  ``parent_id`` nests the synthetic root under an existing
+        span (how the daemon attaches a worker tree to its request span)
+        instead of making it a new top-level root.  Returns the new root
+        span id (None for empty payloads).
         """
         if not data:
             return None
@@ -360,7 +405,7 @@ class SpanRecorder:
         self._finish(
             Span(
                 span_id=root_id,
-                parent_id=None,
+                parent_id=parent_id,
                 name=root_name,
                 start=offset,
                 wall=wall,

@@ -41,13 +41,16 @@ import logging
 import os
 import threading
 import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro import obs
+from repro.obs import trace
 from repro.obs.log import jlog
 from repro.serve import protocol
 from repro.serve.protocol import BadRequest, SubmitRequest
 from repro.serve.queues import FairScheduler, QueueEntry
+from repro.serve.slo import SloPolicy, SloTracker
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobResult, SynthesisJob
 from repro.service.pool import WorkerPool
@@ -77,6 +80,8 @@ class ServeSettings:
         live_cap: int = 2048,
         live_ttl: Optional[float] = 900.0,
         history_cap: int = 4096,
+        slo: Optional[SloPolicy] = None,
+        recent_cap: int = 32,
     ) -> None:
         self.workers = max(1, workers)
         self.solver = solver
@@ -93,6 +98,14 @@ class ServeSettings:
         self.live_ttl = live_ttl
         #: Terminal served jobs kept for ``GET /v1/jobs/<id>`` history.
         self.history_cap = max(16, history_cap)
+        #: Latency objective the SLO layer measures against.  Defaults to
+        #: "95% of requests finish within the per-job timeout".
+        self.slo = slo if slo is not None else SloPolicy(
+            objective_seconds=self.timeout
+        )
+        #: Terminal jobs surfaced in the ``/v1/stats`` ``recent`` block —
+        #: the trace-id lookup surface for operators.
+        self.recent_cap = max(4, recent_cap)
 
 
 class ServeJob:
@@ -102,6 +115,7 @@ class ServeJob:
         "id", "name", "client", "solver", "priority", "labels",
         "fingerprint", "state", "result", "from_cache", "submitted_at",
         "finished_at", "events", "cond", "entry", "pool_job_id",
+        "trace", "dispatched_at", "queue_wait",
     )
 
     def __init__(self, serve_id: str, request: SubmitRequest, solver: str,
@@ -122,6 +136,15 @@ class ServeJob:
         self.cond = threading.Condition()
         self.entry: Optional[QueueEntry] = None
         self.pool_job_id: Optional[str] = None
+        #: The request's distributed-trace context, minted (or adopted from
+        #: the caller's ``traceparent``) at admission.
+        self.trace: Optional[trace.TraceContext] = None
+        self.dispatched_at: Optional[float] = None
+        self.queue_wait: Optional[float] = None
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
 
     @property
     def terminal(self) -> bool:
@@ -170,6 +193,11 @@ class ServeJob:
                 "fingerprint": self.fingerprint,
                 "submitted_at": round(self.submitted_at, 4),
                 "latency": self.latency,
+                "queue_wait": self.queue_wait,
+                "trace_id": self.trace_id,
+                "traceparent": (
+                    self.trace.traceparent() if self.trace else None
+                ),
                 "result": self.result,
             }
             if self.labels:
@@ -207,7 +235,15 @@ class SynthesisDaemon:
             queue_size=self.settings.max_queue,
             live_cap=self.settings.live_cap,
             live_ttl=self.settings.live_ttl,
+            # The daemon re-roots each worker tree under its own
+            # ``serve.request`` span in _finish; letting the pool merge too
+            # would duplicate every span.
+            merge_telemetry=False,
         )
+        #: Streaming latency sketches + SLO burn accounting (daemon-owned,
+        #: always on; guarded by ``self._lock``).
+        self.slo = SloTracker(self.settings.slo)
+        self._recent: deque = deque(maxlen=self.settings.recent_cap)
         self.scheduler: FairScheduler = FairScheduler()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -261,10 +297,16 @@ class SynthesisDaemon:
             return SubmitOutcome(
                 code=400, error=f"unparseable problem: {exc}"
             )
+        # Mint (or continue) the request's distributed-trace context and
+        # ship it across the process boundary in the job params — params
+        # are not part of the fingerprint, so cache identity is unchanged.
+        ctx = trace.continue_or_mint(request.traceparent)
+        trace.inject(job.params, ctx)
         with self._lock:
             self._seq += 1
             serve_job = ServeJob(f"sv-{self._seq}", request, solver,
                                  fingerprint)
+            serve_job.trace = ctx
             self._register_locked(serve_job)
 
         # Cache-first admission: a hit never touches the queue or a worker.
@@ -278,6 +320,7 @@ class SynthesisDaemon:
                     self.accepted += 1
                     self.cache_admissions += 1
                 serve_job.from_cache = True
+                self._audit("cache_hit", serve_job)
                 self._finish(serve_job, result)
                 obs.metrics().counter("serve.cache_admissions").inc()
                 return SubmitOutcome(job=serve_job, code=200)
@@ -291,6 +334,9 @@ class SynthesisDaemon:
                     retry_after = self._retry_after_locked()
                     obs.metrics().counter("serve.rejected").inc()
                     self._forget_locked(serve_job)
+                    self._audit("rejected", serve_job, code=429,
+                                retry_after=retry_after,
+                                queued=len(self.scheduler))
                     return SubmitOutcome(
                         code=429,
                         error="queue full and no lower-priority job to shed",
@@ -301,6 +347,7 @@ class SynthesisDaemon:
             serve_job.entry = self.scheduler.push(
                 serve_job, client=request.client,
                 priority=request.priority, weight=request.weight,
+                trace_id=ctx.trace_id,
             )
             job.name = request.name
             serve_job.pool_job_id = None
@@ -308,13 +355,34 @@ class SynthesisDaemon:
             self._work.notify_all()
         obs.metrics().counter("serve.accepted").inc()
         serve_job.record_event(protocol.QUEUED, client=request.client,
-                               priority=request.priority)
+                               priority=request.priority,
+                               trace_id=ctx.trace_id)
+        self._audit(
+            "admitted", serve_job,
+            displaced=shed_job.id if shed_job is not None else None,
+        )
         jlog(logger, "serve.accepted", serve_id=serve_job.id,
              client=request.client, problem=request.name,
-             priority=request.priority)
+             priority=request.priority, trace_id=ctx.trace_id)
         if shed_job is not None:
-            self._mark_shed(shed_job)
+            self._mark_shed(shed_job, displaced_by=serve_job)
         return SubmitOutcome(job=serve_job, code=202, shed_job=shed_job)
+
+    def _audit(self, decision: str, serve_job: ServeJob, **extra) -> None:
+        """Emit one admission audit record on the structured log stream.
+
+        Decisions: ``admitted`` (with ``displaced`` attribution when the
+        admission shed someone), ``cache_hit``, ``shed`` (with
+        ``displaced_by``), ``rejected`` (with the 429's ``retry_after``).
+        Every record carries the request's ``trace_id``, so the audit log
+        joins against spans, events and ``/v1/stats``.
+        """
+        fields = {k: v for k, v in extra.items() if v is not None}
+        jlog(logger, "serve.audit", decision=decision,
+             serve_id=serve_job.id, client=serve_job.client,
+             problem=serve_job.name, priority=serve_job.priority,
+             trace_id=serve_job.trace_id, **fields)
+        obs.metrics().counter(f"serve.audit.{decision}").inc()
 
     def _register_locked(self, serve_job: ServeJob) -> None:
         self._jobs[serve_job.id] = serve_job
@@ -346,16 +414,41 @@ class SynthesisDaemon:
         eta = per_job * (len(self.scheduler) + 1) / self.settings.workers
         return max(1, min(300, int(eta + 0.5)))
 
-    def _mark_shed(self, serve_job: ServeJob) -> None:
+    def _mark_shed(self, serve_job: ServeJob,
+                   displaced_by: Optional[ServeJob] = None) -> None:
         with self._lock:
             self.shed += 1
             self._pending_jobs.pop(serve_job.id, None)
+            self._remember_locked(serve_job, status="shed",
+                                  state=protocol.SHED)
         obs.metrics().counter("serve.shed").inc()
         serve_job.record_event(protocol.SHED,
-                               reason="displaced by higher-priority job")
+                               reason="displaced by higher-priority job",
+                               trace_id=serve_job.trace_id)
+        self._audit(
+            "shed", serve_job,
+            displaced_by=displaced_by.id if displaced_by else None,
+        )
         jlog(logger, "serve.shed", serve_id=serve_job.id,
-             client=serve_job.client, priority=serve_job.priority)
+             client=serve_job.client, priority=serve_job.priority,
+             trace_id=serve_job.trace_id)
         self._persist(serve_job)
+
+    def _remember_locked(self, serve_job: ServeJob, status: str,
+                         state: Optional[str] = None) -> None:
+        """Append a terminal summary to the ``/v1/stats`` recent ring."""
+        self._recent.append({
+            "id": serve_job.id,
+            "trace_id": serve_job.trace_id,
+            "client": serve_job.client,
+            "problem": serve_job.name,
+            "priority": serve_job.priority,
+            "state": state or serve_job.state,
+            "status": status,
+            "latency": serve_job.latency,
+            "queue_wait": serve_job.queue_wait,
+            "from_cache": serve_job.from_cache,
+        })
 
     # -- Dispatch (dispatcher thread) -------------------------------------------
 
@@ -381,7 +474,16 @@ class SynthesisDaemon:
                 if job is None:
                     continue  # shed between pop attempts
                 self._inflight += 1
-            serve_job.record_event(protocol.DISPATCHED)
+            serve_job.dispatched_at = time.time()
+            serve_job.queue_wait = round(
+                serve_job.dispatched_at - serve_job.submitted_at, 4
+            )
+            serve_job.record_event(protocol.DISPATCHED,
+                                   queue_wait=serve_job.queue_wait,
+                                   trace_id=serve_job.trace_id)
+            jlog(logger, "serve.dispatched", serve_id=serve_job.id,
+                 client=serve_job.client, queue_wait=serve_job.queue_wait,
+                 trace_id=serve_job.trace_id)
             self.pool.submit(
                 job,
                 on_complete=lambda result, sj=serve_job: self._on_pool_complete(
@@ -404,25 +506,83 @@ class SynthesisDaemon:
         self._finish(serve_job, result)
 
     def _finish(self, serve_job: ServeJob, result: JobResult) -> None:
-        with self._lock:
-            self.completed += 1
         serve_job.result = _result_view(result)
         serve_job.from_cache = bool(result.from_cache)
         serve_job.finished_at = time.time()
+        latency = serve_job.latency or 0.0
         serve_job.record_event(protocol.DONE, status=result.status,
-                               from_cache=bool(result.from_cache))
+                               from_cache=bool(result.from_cache),
+                               trace_id=serve_job.trace_id)
         registry = obs.metrics()
+        with self._lock:
+            self.completed += 1
+            self.slo.observe(latency, serve_job.client, serve_job.priority,
+                             time.monotonic(), registry=registry)
+            self._remember_locked(serve_job, status=result.status,
+                                  state=protocol.DONE)
         registry.counter("serve.jobs_completed").inc()
         registry.counter(f"serve.status.{result.status}").inc()
         if serve_job.latency is not None:
             registry.histogram("serve.latency_seconds").observe(
                 serve_job.latency
             )
+        self._record_request_spans(serve_job, result)
         jlog(logger, "serve.completed", serve_id=serve_job.id,
              client=serve_job.client, problem=serve_job.name,
              status=result.status, latency=serve_job.latency,
-             from_cache=bool(result.from_cache))
+             from_cache=bool(result.from_cache),
+             trace_id=serve_job.trace_id)
         self._persist(serve_job)
+
+    def _record_request_spans(self, serve_job: ServeJob,
+                              result: JobResult) -> None:
+        """Record the end-to-end ``serve.request`` span tree for one request.
+
+        The tree is: ``serve.request`` (submit→done, trace-id attributed)
+        with a ``serve.queue_wait`` child covering admission→dispatch, and
+        the worker's whole re-rooted span tree grafted underneath — so
+        ``dryadsynth explain`` and the Chrome trace render one tree per
+        request, queue wait through SMT rounds.
+        """
+        recorder = obs.active()
+        if recorder is None:
+            return
+        trace_attrs = (
+            serve_job.trace.span_attrs() if serve_job.trace else {}
+        )
+        latency = serve_job.latency or 0.0
+        start = max(0.0, time.monotonic() - recorder.epoch - latency)
+        request_span = recorder.record_span(
+            "serve.request",
+            wall=latency,
+            start=start,
+            serve_id=serve_job.id,
+            client=serve_job.client,
+            priority=serve_job.priority,
+            problem=serve_job.name,
+            solver=serve_job.solver,
+            from_cache=bool(result.from_cache),
+            job_status=result.status,
+            **trace_attrs,
+        )
+        if serve_job.queue_wait:
+            recorder.record_span(
+                "serve.queue_wait",
+                wall=serve_job.queue_wait,
+                start=start,
+                parent_id=request_span,
+                client=serve_job.client,
+                **trace_attrs,
+            )
+        if result.telemetry:
+            obs.merge_job_telemetry(
+                result.telemetry,
+                name=serve_job.name or "job",
+                status=result.status,
+                wall_time=result.wall_time,
+                parent_id=request_span,
+                attrs=trace_attrs,
+            )
 
     def _persist(self, serve_job: ServeJob) -> None:
         """Append the terminal record to the results journal (if any)."""
@@ -451,13 +611,12 @@ class SynthesisDaemon:
             return self._jobs.get(serve_id)
 
     def stats(self) -> Dict:
+        now = time.monotonic()
         with self._lock:
             queued = len(self.scheduler)
             payload = {
                 "state": self.state,
-                "uptime_seconds": round(
-                    time.monotonic() - self.started_at, 3
-                ),
+                "uptime_seconds": round(now - self.started_at, 3),
                 "accepted": self.accepted,
                 "completed": self.completed,
                 "rejected": self.rejected,
@@ -467,34 +626,68 @@ class SynthesisDaemon:
                 "inflight": self._inflight,
                 "max_queue": self.settings.max_queue,
                 "queue_depths": self.scheduler.depths(),
+                "latency": self.slo.latency_snapshot(),
+                "slo": self.slo.snapshot(now),
+                "recent": list(self._recent),
             }
         payload["pool"] = self.pool.pool_stats()
+        registry = obs.metrics()
+        memo_hits = registry.counter("smt.memo_hits").value
+        memo_misses = registry.counter("smt.memo_misses").value
+        payload["memo"] = {
+            "hits": memo_hits,
+            "misses": memo_misses,
+            "hit_rate": _rate(memo_hits, memo_misses),
+        }
         cache = self.settings.cache
         if cache is not None:
             payload["cache"] = {
                 "hits": cache.hits, "misses": cache.misses,
                 "evictions": cache.evictions,
+                "hit_rate": _rate(cache.hits, cache.misses),
             }
         return payload
 
     def health(self) -> Dict:
-        """``/healthz`` provider: degraded on dead workers or saturation."""
-        reasons = []
+        """``/healthz`` provider: degraded on dead workers or saturation.
+
+        Degraded responses name *which* condition tripped, machine-readably:
+        the ``conditions`` map always carries every known condition with a
+        ``tripped`` flag and a detail payload, and ``reasons`` keeps the
+        human-readable strings.
+        """
         with self._lock:
             queued = len(self.scheduler)
             state = self.state
             inflight = self._inflight
         alive = len(self.pool.worker_pids())
         expected = min(self.settings.workers, inflight)
-        if alive < expected:
+        conditions = {
+            "dead_workers": {
+                "tripped": alive < expected,
+                "workers_alive": alive,
+                "workers_busy": expected,
+            },
+            "queue_saturated": {
+                "tripped": queued >= self.settings.max_queue,
+                "queued": queued,
+                "max_queue": self.settings.max_queue,
+            },
+            "draining": {
+                "tripped": state != RUNNING,
+                "state": state,
+            },
+        }
+        reasons = []
+        if conditions["dead_workers"]["tripped"]:
             reasons.append(
                 f"dead workers: {alive} alive < {expected} busy"
             )
-        if queued >= self.settings.max_queue:
+        if conditions["queue_saturated"]["tripped"]:
             reasons.append(
                 f"queue saturated: {queued}/{self.settings.max_queue}"
             )
-        if state != RUNNING:
+        if conditions["draining"]["tripped"]:
             reasons.append(f"not admitting: {state}")
         payload = {
             "status": "ok" if not reasons else "degraded",
@@ -502,6 +695,7 @@ class SynthesisDaemon:
             "queued": queued,
             "inflight": inflight,
             "workers_alive": alive,
+            "conditions": conditions,
         }
         if reasons:
             payload["reasons"] = reasons
@@ -560,6 +754,11 @@ class SynthesisDaemon:
                 self._results_handle.close()
                 self._results_handle = None
         self.pool.close()
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return round(hits / total, 4) if total else 0.0
 
 
 def _result_view(result: JobResult) -> Dict:

@@ -83,6 +83,7 @@ def _submit_handler(daemon: SynthesisDaemon):
                 body or b"",
                 content_type=request.headers.get("Content-Type", ""),
                 query=_query(request),
+                traceparent=request.headers.get("traceparent"),
             )
         except BadRequest as exc:
             TelemetryServer.reply_json(request, 400, {"error": str(exc)})

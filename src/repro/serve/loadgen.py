@@ -9,10 +9,15 @@ backpressure, poll each job to a terminal state, and measure
 experiences, queueing included.
 
 The report is JSON: per-request records plus aggregate p50/p90/p99 latency
-(:func:`repro.smt.capture.timing_percentiles`, the same estimator the SMT
-profiler uses), cache-hit and shed counts, and the solved set — which
-``dryadsynth bench-compare`` checks against the batch baseline and the
-trailing latency history in ``BENCH_history.jsonl``.
+from a shared :class:`~repro.obs.metrics.QuantileSketch` — the same
+bounded-memory estimator the daemon's SLO layer streams into, so the
+client-side and server-side percentiles are directly comparable and an
+arbitrarily long run never accumulates a raw sample list.  Each record
+carries the ``trace_id`` the daemon minted, joining the client's view to
+the admission audit log, ``/v1/stats`` and the span tree.  Cache-hit and
+shed counts and the solved set ride along — which ``dryadsynth
+bench-compare`` checks against the batch baseline and the trailing latency
+history in ``BENCH_history.jsonl``.
 
 Also importable (:func:`run_loadgen`) so the daemon tests and the CI smoke
 job can drive an in-process server without spawning a second Python.
@@ -29,7 +34,7 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.smt.capture import timing_percentiles
+from repro.obs.metrics import QuantileSketch
 
 #: Cap on a single Retry-After pause — the server's estimate is advisory and
 #: the generator must keep making progress even if it advertises minutes.
@@ -79,6 +84,8 @@ class _Client(threading.Thread):
         interval: float,
         poll_interval: float,
         deadline: float,
+        sketch: QuantileSketch,
+        sketch_lock: threading.Lock,
     ) -> None:
         super().__init__(name=f"loadgen-client-{index}", daemon=True)
         self.index = index
@@ -88,13 +95,21 @@ class _Client(threading.Thread):
         self.interval = interval
         self.poll_interval = poll_interval
         self.deadline = deadline
+        #: Shared across all clients: completed-request latencies stream in
+        #: here (bounded memory) instead of into per-client sample lists.
+        self.sketch = sketch
+        self.sketch_lock = sketch_lock
         self.records: List[Dict] = []
 
     def run(self) -> None:
         for name, text, priority in self.work:
             if self.interval > 0:
                 time.sleep(self.interval)
-            self.records.append(self._submit_and_wait(name, text, priority))
+            record = self._submit_and_wait(name, text, priority)
+            if record.get("latency") is not None and record.get("state") == "done":
+                with self.sketch_lock:
+                    self.sketch.observe(record["latency"])
+            self.records.append(record)
 
     def _submit_and_wait(self, name: str, text: str, priority: int) -> Dict:
         record: Dict = {
@@ -133,6 +148,7 @@ class _Client(threading.Thread):
                 continue
             if status in (200, 202):
                 serve_id = payload["id"]
+                record["trace_id"] = payload.get("trace_id")
                 break
             record.update(
                 state="error", error=payload.get("error", f"HTTP {status}")
@@ -199,8 +215,11 @@ def run_loadgen(
         shares[index % clients].append(item)
     interval = (1.0 / rate) if rate else 0.0
     hard_deadline = time.monotonic() + deadline
+    sketch = QuantileSketch("loadgen.latency")
+    sketch_lock = threading.Lock()
     workers = [
-        _Client(index, url, share, interval, poll_interval, hard_deadline)
+        _Client(index, url, share, interval, poll_interval, hard_deadline,
+                sketch, sketch_lock)
         for index, share in enumerate(shares)
         if share
     ]
@@ -211,15 +230,14 @@ def run_loadgen(
         worker.join()
     wall = time.monotonic() - start
     records = [record for worker in workers for record in worker.records]
-    return _report(records, clients=len(workers), wall=wall)
+    return _report(records, clients=len(workers), wall=wall, sketch=sketch)
 
 
-def _report(records: List[Dict], clients: int, wall: float) -> Dict:
-    latencies = [
-        record["latency"]
-        for record in records
-        if record.get("latency") is not None and record.get("state") == "done"
-    ]
+def _report(records: List[Dict], clients: int, wall: float,
+            sketch: QuantileSketch) -> Dict:
+    latency = sketch.percentiles()
+    latency["count"] = sketch.count
+    latency["mean"] = round(sketch.mean, 6)
     solved = sorted(
         {
             record["problem"]
@@ -236,7 +254,7 @@ def _report(records: List[Dict], clients: int, wall: float) -> Dict:
         "cache_hits": sum(1 for r in records if r.get("from_cache")),
         "rejected_retries": sum(r.get("retries", 0) for r in records),
         "wall_seconds": round(wall, 3),
-        "latency": timing_percentiles(latencies),
+        "latency": latency,
         "solved": solved,
         "records": records,
     }

@@ -63,20 +63,28 @@ class SubmitRequest:
     client: str = "default"
     priority: int = 0
     weight: int = 1
-    #: Free-form labels echoed back in the job view (tenant ids, trace ids).
+    #: Free-form labels echoed back in the job view (tenant ids, batch ids).
     labels: Dict[str, str] = field(default_factory=dict)
+    #: W3C ``traceparent`` the caller wants this request to continue; taken
+    #: from the HTTP header, a JSON field or a query parameter (that order).
+    #: Malformed values never reject a submission — the daemon mints a
+    #: fresh trace instead (:mod:`repro.obs.trace`).
+    traceparent: Optional[str] = None
 
 
 def parse_submission(
     body: bytes,
     content_type: str = "",
     query: Optional[Dict[str, str]] = None,
+    traceparent: Optional[str] = None,
 ) -> SubmitRequest:
     """Parse a request body into a :class:`SubmitRequest`.
 
     JSON bodies carry every field inline; raw SyGuS-IF text takes the
-    queue-shaping fields from ``query``.  Raises :class:`BadRequest` with a
-    human-readable message on anything malformed.
+    queue-shaping fields from ``query``.  ``traceparent`` is the HTTP
+    header value (if any); an inline ``traceparent`` field in the body or
+    query wins over it.  Raises :class:`BadRequest` with a human-readable
+    message on anything malformed.
     """
     import json
 
@@ -128,6 +136,8 @@ def parse_submission(
         ):
             raise BadRequest('field "labels" must map strings to strings')
         request.labels = dict(labels)
+    inline_traceparent = _string_field(fields, "traceparent", "")
+    request.traceparent = inline_traceparent or traceparent or None
     return request
 
 

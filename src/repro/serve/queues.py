@@ -58,16 +58,23 @@ class _ClientQueue(Generic[T]):
 
 
 class QueueEntry(Generic[T]):
-    """One queued item: payload plus its scheduling coordinates."""
+    """One queued item: payload plus its scheduling coordinates.
 
-    __slots__ = ("item", "client", "priority", "seq", "dead")
+    ``trace_id`` rides along so queue-level decisions (shedding,
+    displacement attribution) can be logged against the originating
+    request's distributed trace without reaching into the payload.
+    """
 
-    def __init__(self, item: T, client: str, priority: int, seq: int) -> None:
+    __slots__ = ("item", "client", "priority", "seq", "dead", "trace_id")
+
+    def __init__(self, item: T, client: str, priority: int, seq: int,
+                 trace_id: Optional[str] = None) -> None:
         self.item = item
         self.client = client
         self.priority = priority
         self.seq = seq
         self.dead = False
+        self.trace_id = trace_id
 
 
 class FairScheduler(Generic[T]):
@@ -88,6 +95,7 @@ class FairScheduler(Generic[T]):
         client: str = "default",
         priority: int = 0,
         weight: int = 1,
+        trace_id: Optional[str] = None,
     ) -> QueueEntry[T]:
         """Enqueue ``item`` for ``client``; returns its entry handle.
 
@@ -99,7 +107,8 @@ class FairScheduler(Generic[T]):
             queue = self._queues[client] = _ClientQueue(client, weight)
         else:
             queue.weight = max(1, weight)
-        entry = QueueEntry(item, client, priority, next(self._seq))
+        entry = QueueEntry(item, client, priority, next(self._seq),
+                           trace_id=trace_id)
         was_empty = queue.live == 0
         queue.push(entry)
         self._size += 1

@@ -1,0 +1,241 @@
+"""Streaming SLO accounting for the serving daemon.
+
+The daemon promises a latency objective — "``target`` of requests finish
+within ``objective_seconds`` of submission" — and this module measures it
+the way an on-call rotation would consume it:
+
+- **Latency sketches** (:class:`~repro.obs.metrics.QuantileSketch`): one
+  overall submit→done sketch plus one per client and one per priority, all
+  bounded-memory and mergeable, feeding the rolling p50/p95/p99 on
+  ``/v1/stats`` and the ``summary`` series on ``/metrics``.
+- **Burn rates**: violation rate over a *fast* (~5 min) and a *slow*
+  (~1 h) window, each normalised by the error budget ``1 - target``.  A
+  burn rate of 1.0 means the budget is being spent exactly as fast as the
+  objective allows; multi-window alerting (fast > slow > 1) is the
+  standard page condition.
+- **Budget remaining**: the fraction of the slow window's error budget not
+  yet consumed, clamped to [0, 1] — the single "how much slack is left"
+  gauge the dashboard leads with.
+
+Everything here is daemon-owned and always on (it does not depend on
+``--telemetry``): the tracker costs a few dict updates per completion.
+Thread-safety is the caller's problem by design — the daemon already
+serialises completions under its own lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    QuantileSketch,
+    register_metric_help,
+)
+
+#: Per-client/per-priority sketch families are capped; overflow tenants
+#: aggregate under this label so a client-id cardinality attack cannot grow
+#: the tracker without bound.
+OVERFLOW_KEY = "_other"
+
+register_metric_help(
+    "serve.request_latency_seconds",
+    "submit-to-done latency quantile sketch, all clients",
+)
+register_metric_help(
+    "serve.slo_burn_rate_fast",
+    "SLO error-budget burn rate over the fast window",
+)
+register_metric_help(
+    "serve.slo_burn_rate_slow",
+    "SLO error-budget burn rate over the slow window",
+)
+register_metric_help(
+    "serve.slo_budget_remaining",
+    "fraction of the slow-window SLO error budget not yet consumed",
+)
+register_metric_help(
+    "serve.slo_violations",
+    "requests that missed the latency objective",
+)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The latency objective the daemon is held to."""
+
+    objective_seconds: float = 5.0
+    target: float = 0.95  # fraction of requests that must meet the objective
+    fast_window: float = 300.0
+    slow_window: float = 3600.0
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated violation fraction (never zero: target is clamped)."""
+        return max(1.0 - self.target, 1e-6)
+
+
+class _WindowRing:
+    """A time-bucketed (total, violations) ring over a sliding window.
+
+    Memory is fixed (``buckets`` slots); old buckets are lazily recycled
+    when their slot comes round again, so no background sweeper is needed.
+    """
+
+    __slots__ = ("bucket_len", "slots", "totals", "violations", "stamps")
+
+    def __init__(self, window: float, buckets: int = 30) -> None:
+        self.bucket_len = max(window / buckets, 1e-3)
+        self.slots = buckets
+        self.totals = [0] * buckets
+        self.violations = [0] * buckets
+        self.stamps: List[Optional[int]] = [None] * buckets
+
+    def _slot(self, now: float) -> int:
+        epoch = int(now / self.bucket_len)
+        index = epoch % self.slots
+        if self.stamps[index] != epoch:
+            self.stamps[index] = epoch
+            self.totals[index] = 0
+            self.violations[index] = 0
+        return index
+
+    def observe(self, now: float, violated: bool) -> None:
+        index = self._slot(now)
+        self.totals[index] += 1
+        if violated:
+            self.violations[index] += 1
+
+    def rates(self, now: float) -> Dict[str, float]:
+        epoch = int(now / self.bucket_len)
+        total = violations = 0
+        for index in range(self.slots):
+            stamp = self.stamps[index]
+            if stamp is not None and 0 <= epoch - stamp < self.slots:
+                total += self.totals[index]
+                violations += self.violations[index]
+        rate = violations / total if total else 0.0
+        return {"total": total, "violations": violations, "rate": rate}
+
+
+class SloTracker:
+    """Streaming latency + SLO state for one daemon instance."""
+
+    def __init__(
+        self,
+        policy: Optional[SloPolicy] = None,
+        max_keys: int = 64,
+    ) -> None:
+        self.policy = policy or SloPolicy()
+        self.max_keys = max_keys
+        self.overall = QuantileSketch("serve.request_latency_seconds")
+        self.per_client: Dict[str, QuantileSketch] = {}
+        self.per_priority: Dict[str, QuantileSketch] = {}
+        self.fast = _WindowRing(self.policy.fast_window)
+        self.slow = _WindowRing(self.policy.slow_window)
+        self.observed = 0
+        self.violations = 0
+
+    def _family(
+        self, family: Dict[str, QuantileSketch], key: str
+    ) -> QuantileSketch:
+        sketch = family.get(key)
+        if sketch is None:
+            if len(family) >= self.max_keys:
+                key = OVERFLOW_KEY
+                sketch = family.get(key)
+            if sketch is None:
+                sketch = family.setdefault(key, QuantileSketch(key))
+        return sketch
+
+    def observe(
+        self,
+        latency: float,
+        client: str,
+        priority: int,
+        now: float,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> bool:
+        """Fold one completed request in; returns True when it violated.
+
+        ``now`` is the caller's monotonic clock (the daemon's), so the
+        window rings and the daemon's event timestamps share a timeline.
+        When a ``registry`` is supplied the overall sketch and the SLO
+        gauges are mirrored into it, which is how the numbers reach
+        ``/metrics`` without the tracker holding a registry reference.
+        """
+        violated = latency > self.policy.objective_seconds
+        self.observed += 1
+        if violated:
+            self.violations += 1
+        self.overall.observe(latency)
+        self._family(self.per_client, client or "anonymous").observe(latency)
+        self._family(self.per_priority, f"p{priority}").observe(latency)
+        self.fast.observe(now, violated)
+        self.slow.observe(now, violated)
+        if registry is not None:
+            self.publish(registry, now)
+        return violated
+
+    # -- Derived signals -------------------------------------------------------
+
+    def burn_rate(self, window: _WindowRing, now: float) -> float:
+        return window.rates(now)["rate"] / self.policy.error_budget
+
+    def budget_remaining(self, now: float) -> float:
+        remaining = 1.0 - self.burn_rate(self.slow, now)
+        return min(1.0, max(0.0, remaining))
+
+    def publish(self, registry: MetricsRegistry, now: float) -> None:
+        """Mirror the tracker into a metrics registry (``/metrics`` surface)."""
+        # The tracker's sketch is cumulative, so merging it repeatedly would
+        # double-count: install the live sketch object itself instead.
+        registry._sketches["serve.request_latency_seconds"] = self.overall
+        registry.counter("serve.slo_violations").value = self.violations
+        registry.gauge("serve.slo_burn_rate_fast").set(
+            round(self.burn_rate(self.fast, now), 6)
+        )
+        registry.gauge("serve.slo_burn_rate_slow").set(
+            round(self.burn_rate(self.slow, now), 6)
+        )
+        registry.gauge("serve.slo_budget_remaining").set(
+            round(self.budget_remaining(now), 6)
+        )
+
+    def snapshot(self, now: float) -> Dict:
+        """The ``/v1/stats`` block: objective, burn rates, rolling quantiles."""
+        fast = self.fast.rates(now)
+        slow = self.slow.rates(now)
+        return {
+            "objective_seconds": self.policy.objective_seconds,
+            "target": self.policy.target,
+            "observed": self.observed,
+            "violations": self.violations,
+            "burn_rate_fast": round(fast["rate"] / self.policy.error_budget, 4),
+            "burn_rate_slow": round(slow["rate"] / self.policy.error_budget, 4),
+            "budget_remaining": round(self.budget_remaining(now), 4),
+            "window_fast": fast,
+            "window_slow": slow,
+        }
+
+    def latency_snapshot(self) -> Dict:
+        """Rolling percentiles, overall and per client/priority."""
+
+        def describe(sketch: QuantileSketch) -> Dict:
+            data = sketch.percentiles()
+            data["count"] = sketch.count
+            data["mean"] = round(sketch.mean, 6)
+            return data
+
+        return {
+            "overall": describe(self.overall),
+            "per_client": {
+                key: describe(sketch)
+                for key, sketch in sorted(self.per_client.items())
+            },
+            "per_priority": {
+                key: describe(sketch)
+                for key, sketch in sorted(self.per_priority.items())
+            },
+        }

@@ -1,0 +1,233 @@
+"""``dryadsynth top`` — a live ANSI dashboard over a running daemon.
+
+Polls ``/v1/stats`` and ``/healthz`` and redraws a one-screen fleet view:
+health conditions, admission counters, queue depths per client, rolling
+latency percentiles per client/priority (from the daemon's streaming
+quantile sketches), SLO burn rates and budget, and the most recent
+requests with their trace ids — the id an operator copies into the
+structured log, ``dryadsynth explain`` or Perfetto to follow one request
+end to end.
+
+Rendering is a pure function (:func:`render_dashboard`) over the two JSON
+payloads, so tests exercise the full surface without a terminal; the CLI
+loop just clears the screen and reprints.  ``--once`` prints a single
+frame without ANSI control codes (scripting/CI-friendly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+#: Clear screen + home cursor (standard ANSI; what ``watch`` does).
+CLEAR = "\x1b[2J\x1b[H"
+
+BOLD = "\x1b[1m"
+RED = "\x1b[31m"
+GREEN = "\x1b[32m"
+RESET = "\x1b[0m"
+
+
+def _fetch_json(url: str, timeout: float = 5.0) -> Optional[Dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        # /healthz answers 503 with a JSON body while degraded — that body
+        # is exactly what the dashboard wants to show.
+        try:
+            return json.loads(exc.read().decode())
+        except (ValueError, OSError):
+            return None
+    except (OSError, ValueError):
+        return None
+
+
+def _bar(value: float, width: int = 20) -> str:
+    filled = int(round(min(1.0, max(0.0, value)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_latency(block: Dict) -> str:
+    return (
+        f"p50={block.get('p50', 0):>8.4f}  p90={block.get('p90', 0):>8.4f}  "
+        f"p95={block.get('p95', 0):>8.4f}  p99={block.get('p99', 0):>8.4f}  "
+        f"n={block.get('count', 0)}"
+    )
+
+
+def render_dashboard(
+    stats: Optional[Dict],
+    health: Optional[Dict],
+    url: str = "",
+    color: bool = False,
+) -> str:
+    """One frame of the dashboard as plain text.
+
+    Tolerates partial payloads (missing blocks render as absent sections)
+    and ``None`` (daemon unreachable), so a flapping daemon degrades to an
+    honest "unreachable" banner instead of a stack trace.
+    """
+
+    def paint(text: str, code: str) -> str:
+        return f"{code}{text}{RESET}" if color else text
+
+    lines: List[str] = []
+    title = f"dryadsynth top — {url}" if url else "dryadsynth top"
+    lines.append(paint(title, BOLD))
+    if stats is None:
+        lines.append(paint("daemon unreachable", RED))
+        return "\n".join(lines) + "\n"
+
+    status = (health or {}).get("status", "unknown")
+    status_text = paint(
+        status.upper(), GREEN if status == "ok" else RED
+    )
+    lines.append(
+        f"state={stats.get('state', '?')}  health={status_text}  "
+        f"uptime={stats.get('uptime_seconds', 0):.0f}s"
+    )
+    for condition, detail in sorted(
+        ((health or {}).get("conditions") or {}).items()
+    ):
+        if detail.get("tripped"):
+            extras = {k: v for k, v in detail.items() if k != "tripped"}
+            lines.append(paint(f"  !! {condition}: {extras}", RED))
+
+    lines.append(
+        f"requests  accepted={stats.get('accepted', 0)}  "
+        f"completed={stats.get('completed', 0)}  "
+        f"inflight={stats.get('inflight', 0)}  "
+        f"queued={stats.get('queued', 0)}/{stats.get('max_queue', 0)}  "
+        f"shed={stats.get('shed', 0)}  rejected={stats.get('rejected', 0)}"
+    )
+    pool = stats.get("pool") or {}
+    cache = stats.get("cache") or {}
+    memo = stats.get("memo") or {}
+    lines.append(
+        f"fleet     workers={pool.get('workers_alive', '?')}"
+        f"/{pool.get('workers', '?')}  "
+        f"spawned={pool.get('workers_spawned', '?')}  "
+        f"dispatched={pool.get('jobs_dispatched', '?')}  "
+        f"cache_hit_rate={cache.get('hit_rate', 0.0):.2f}  "
+        f"memo_hit_rate={memo.get('hit_rate', 0.0):.2f}"
+    )
+
+    slo = stats.get("slo")
+    if slo:
+        budget = slo.get("budget_remaining", 0.0)
+        lines.append(
+            f"slo       objective={slo.get('objective_seconds', 0)}s "
+            f"target={slo.get('target', 0) * 100:.0f}%  "
+            f"burn fast={slo.get('burn_rate_fast', 0):.2f} "
+            f"slow={slo.get('burn_rate_slow', 0):.2f}  "
+            f"violations={slo.get('violations', 0)}"
+            f"/{slo.get('observed', 0)}"
+        )
+        bar = _bar(budget)
+        bar = paint(bar, GREEN if budget > 0.25 else RED)
+        lines.append(f"budget    [{bar}] {budget * 100:.1f}% remaining")
+
+    latency = stats.get("latency") or {}
+    overall = latency.get("overall")
+    if overall and overall.get("count"):
+        lines.append("")
+        lines.append(paint("latency (submit → done, seconds)", BOLD))
+        lines.append(f"  {'overall':<16} {_fmt_latency(overall)}")
+        for client, block in sorted(
+            (latency.get("per_client") or {}).items()
+        ):
+            lines.append(f"  {client:<16} {_fmt_latency(block)}")
+        for priority, block in sorted(
+            (latency.get("per_priority") or {}).items()
+        ):
+            lines.append(f"  {priority:<16} {_fmt_latency(block)}")
+
+    depths = stats.get("queue_depths") or {}
+    if depths:
+        lines.append("")
+        lines.append(paint("queues", BOLD))
+        for client, depth in sorted(depths.items()):
+            lines.append(f"  {client:<16} {depth}")
+
+    recent = stats.get("recent") or []
+    if recent:
+        lines.append("")
+        lines.append(paint("recent requests (newest last)", BOLD))
+        lines.append(
+            f"  {'id':<8} {'trace_id':<32} {'client':<12} "
+            f"{'state':<6} {'status':<8} {'latency':>8}"
+        )
+        for entry in recent[-10:]:
+            latency_s = entry.get("latency")
+            lines.append(
+                f"  {str(entry.get('id', '')):<8} "
+                f"{str(entry.get('trace_id', '') or '-'):<32} "
+                f"{str(entry.get('client', '')):<12} "
+                f"{str(entry.get('state', '')):<6} "
+                f"{str(entry.get('status', '') or '-'):<8} "
+                f"{latency_s if latency_s is not None else '-':>8}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    once: bool = False,
+    frames: Optional[int] = None,
+    stream=None,
+) -> int:
+    """Poll-and-redraw loop; returns an exit code.
+
+    ``frames`` bounds the number of redraws (tests); ``once`` implies one
+    frame with no ANSI clear.  Exit code 1 when the daemon was unreachable
+    on the final frame, so ``dryadsynth top --once`` doubles as a probe.
+    """
+    stream = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    color = not once and hasattr(stream, "isatty") and stream.isatty()
+    drawn = 0
+    reachable = False
+    while True:
+        stats = _fetch_json(base + "/v1/stats")
+        health = _fetch_json(base + "/healthz")
+        reachable = stats is not None
+        frame = render_dashboard(stats, health, url=base, color=color)
+        if not once:
+            stream.write(CLEAR)
+        stream.write(frame)
+        stream.flush()
+        drawn += 1
+        if once or (frames is not None and drawn >= frames):
+            break
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            break
+    return 0 if reachable else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live dashboard over a running dryadsynth serve daemon."
+    )
+    parser.add_argument("url", help="daemon base URL (http://host:port)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between redraws (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame (no ANSI codes) and exit")
+    args = parser.parse_args(argv)
+    try:
+        return run_top(args.url, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

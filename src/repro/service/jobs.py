@@ -16,6 +16,7 @@ import traceback
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
+from repro.obs import trace as obs_trace
 from repro.obs.log import ensure_worker_logging, jlog, log_context
 from repro.synth.config import SynthConfig
 
@@ -307,8 +308,10 @@ def execute_job(job: SynthesisJob) -> JobResult:
     start = time.monotonic()
     ensure_worker_logging(job.params.get("log_json"))
     flight = _open_flight(job)
+    ctx = obs_trace.extract(job.params)
     with log_context(job_id=job.job_id or None, problem=job.name,
-                     solver=job.solver):
+                     solver=job.solver,
+                     trace_id=ctx.trace_id if ctx else None):
         jlog(logger, "job.start", timeout=job.effective_timeout)
         try:
             result = _execute_recorded(job, start, flight)
@@ -340,11 +343,14 @@ def _open_flight(job: SynthesisJob):
     try:
         from repro.obs.flight import FlightRecorder
 
-        flight = FlightRecorder(
-            job.flight_journal,
-            meta={"job_id": job.job_id, "name": job.name,
-                  "solver": job.solver},
-        )
+        ctx = obs_trace.extract(job.params)
+        meta = {"job_id": job.job_id, "name": job.name,
+                "solver": job.solver}
+        if ctx is not None:
+            # The crash journal must be joinable against the request trace
+            # even when the worker dies before shipping any telemetry.
+            meta["trace_id"] = ctx.trace_id
+        flight = FlightRecorder(job.flight_journal, meta=meta)
         flight.note("job.start", timeout=job.effective_timeout or 0.0)
         return flight
     except OSError:
@@ -358,22 +364,35 @@ def _execute_recorded(job: SynthesisJob, start: float, flight) -> JobResult:
     did not request shipped telemetry: the journal needs the span stream,
     but the (potentially large) payload only rides back on
     ``JobResult.telemetry`` when ``job.telemetry`` is set.
-    """
-    debug = _debug_solver_result(job, start)
-    if debug is not None:
-        return debug
-    if job.telemetry or flight is not None:
-        from repro import obs
-        from repro.obs.export import telemetry_payload
 
-        with obs.recording() as recorder:
-            if flight is not None:
-                recorder.sink = flight
-            result = _execute_real_job(job, start)
-        if job.telemetry:
-            result.telemetry = telemetry_payload(recorder)
-        return result
-    return _execute_real_job(job, start)
+    With a recorder installed, execution runs under a ``worker.request``
+    root span carrying the distributed-trace ids the daemon injected into
+    ``job.params`` — debug solvers included, so traced service tests don't
+    need a real solve.  The daemon re-roots this tree under its own
+    ``serve.request`` span on completion.
+    """
+    if not (job.telemetry or flight is not None):
+        debug = _debug_solver_result(job, start)
+        if debug is not None:
+            return debug
+        return _execute_real_job(job, start)
+    from repro import obs
+    from repro.obs.export import telemetry_payload
+
+    trace_attrs = obs_trace.worker_span_attrs(job.params)
+    with obs.recording() as recorder:
+        if flight is not None:
+            recorder.sink = flight
+        with recorder.span("worker.request", job_id=job.job_id or None,
+                           problem=job.name, solver=job.solver,
+                           **trace_attrs) as root:
+            debug = _debug_solver_result(job, start)
+            result = (debug if debug is not None
+                      else _execute_real_job(job, start))
+            root.set(job_status=result.status)
+    if job.telemetry:
+        result.telemetry = telemetry_payload(recorder)
+    return result
 
 
 def _execute_real_job(job: SynthesisJob, start: float) -> JobResult:

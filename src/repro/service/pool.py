@@ -210,6 +210,7 @@ class WorkerPool:
         flight_dir: Optional[str] = None,
         live_cap: int = DEFAULT_LIVE_CAP,
         live_ttl: Optional[float] = None,
+        merge_telemetry: bool = True,
     ) -> None:
         self.size = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.max_retries = max(0, max_retries)
@@ -231,6 +232,11 @@ class WorkerPool:
         #: instead of accumulating every job it ever ran.
         self.live_cap = max(1, live_cap)
         self.live_ttl = live_ttl
+        #: Whether completions fold worker telemetry into the ambient
+        #: recorder here.  The serving daemon turns this off and performs
+        #: the merge itself, re-rooting each worker tree under its own
+        #: request span (merging in both places would duplicate every span).
+        self.merge_telemetry = merge_telemetry
         self._live: Dict[str, Dict] = {}
         self._live_lock = threading.Lock()
         method = start_method or os.environ.get("REPRO_SERVICE_START_METHOD")
@@ -710,7 +716,8 @@ class WorkerPool:
         registry.histogram("pool.queue_wait_seconds").observe(
             result.queue_wait
         )
-        if result.telemetry is not None and not result.from_cache:
+        if (self.merge_telemetry and result.telemetry is not None
+                and not result.from_cache):
             obs.merge_job_telemetry(
                 result.telemetry,
                 name=result.name,

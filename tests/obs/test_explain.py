@@ -150,3 +150,44 @@ class TestSyntheticStreams:
         assert report.nodes == {}
         assert report.total_wall == 0.0
         assert "0 node(s)" in render_explain(report)
+
+
+class TestRequestRows:
+    """serve.request spans from a daemon dump render as a request table."""
+
+    def _spans(self):
+        return [
+            Span(1, None, "serve.request", 0.0, wall=2.5,
+                 attrs={"trace_id": "a" * 32, "serve_id": "sv-1",
+                        "client": "alice", "problem": "max2",
+                        "job_status": "solved"}),
+            Span(2, 1, "serve.queue_wait", 0.0, wall=0.5,
+                 attrs={"trace_id": "a" * 32}),
+            Span(3, None, "serve.request", 0.5, wall=0.3,
+                 attrs={"trace_id": "b" * 32, "serve_id": "sv-2",
+                        "client": "bob", "problem": "max2",
+                        "job_status": "solved", "from_cache": True}),
+        ]
+
+    def test_rows_collated_slowest_first(self):
+        report = build_explain(self._spans(), [])
+        assert [row.serve_id for row in report.requests] == ["sv-1", "sv-2"]
+        first = report.requests[0]
+        assert first.trace_id == "a" * 32
+        assert first.queue_wait == 0.5
+        assert first.latency == 2.5
+        assert report.requests[1].from_cache is True
+
+    def test_rendered_table_contains_trace_ids(self):
+        report = build_explain(self._spans(), [])
+        text = render_explain(report)
+        assert "daemon requests" in text
+        assert "a" * 32 in text
+        assert "alice" in text
+        assert "solved*" in text  # cache-hit marker
+        assert "served from the result cache" in text
+
+    def test_no_requests_no_section(self):
+        report = build_explain([], [])
+        assert report.requests == []
+        assert "daemon requests" not in render_explain(report)

@@ -101,6 +101,10 @@ class TestTelemetryServer:
             payload = json.loads(excinfo.value.read().decode())
             assert payload["status"] == "degraded"
             assert "pool is gone" in payload["error"]
+            # Machine-readable condition for the crash, alongside reasons.
+            condition = payload["conditions"]["health_provider_error"]
+            assert condition["tripped"] is True
+            assert "pool is gone" in condition["error"]
             # The server must survive a degraded probe.
             status, _, _ = get(server, "/metrics")
             assert status == 200

@@ -1,0 +1,127 @@
+"""W3C-traceparent-style trace context (repro.obs.trace)."""
+
+import re
+
+from repro.obs import trace
+
+
+HEX32 = re.compile(r"^[0-9a-f]{32}$")
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+
+
+class TestMint:
+    def test_mint_produces_valid_ids(self):
+        ctx = trace.mint()
+        assert HEX32.match(ctx.trace_id)
+        assert HEX16.match(ctx.span_id)
+        assert ctx.parent_span_id is None
+
+    def test_minted_contexts_are_distinct(self):
+        seen = {trace.mint().trace_id for _ in range(32)}
+        assert len(seen) == 32
+
+    def test_traceparent_header_shape(self):
+        header = trace.mint().traceparent()
+        version, trace_id, span_id, flags = header.split("-")
+        assert version == trace.TRACEPARENT_VERSION
+        assert HEX32.match(trace_id)
+        assert HEX16.match(span_id)
+        assert flags == trace.TRACE_FLAGS
+
+
+class TestParse:
+    def test_roundtrip(self):
+        ctx = trace.mint()
+        parsed = trace.parse_traceparent(ctx.traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_malformed_headers_rejected(self):
+        bad = [
+            None,
+            "",
+            "garbage",
+            "00-zz-zz-01",
+            "00-" + "0" * 32 + "-" + "a" * 16 + "-01",  # all-zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # reserved version
+        ]
+        for header in bad:
+            assert trace.parse_traceparent(header) is None, header
+
+    def test_future_version_accepted(self):
+        # Per W3C: parsers accept versions other than ff if the tail parses.
+        header = "01-" + "a" * 32 + "-" + "b" * 16 + "-01"
+        parsed = trace.parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "a" * 32
+
+
+class TestContinueOrMint:
+    def test_valid_header_continues_the_trace(self):
+        caller = trace.mint()
+        ctx = trace.continue_or_mint(caller.traceparent())
+        assert ctx.trace_id == caller.trace_id
+        assert ctx.parent_span_id == caller.span_id
+        assert ctx.span_id != caller.span_id
+
+    def test_malformed_header_degrades_to_fresh_mint(self):
+        ctx = trace.continue_or_mint("not-a-traceparent")
+        assert HEX32.match(ctx.trace_id)
+        assert ctx.parent_span_id is None
+
+    def test_missing_header_mints(self):
+        ctx = trace.continue_or_mint(None)
+        assert HEX32.match(ctx.trace_id)
+
+
+class TestChild:
+    def test_child_keeps_trace_and_links_parent(self):
+        parent = trace.mint()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_span_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+
+class TestParamsCarrier:
+    def test_inject_extract_roundtrip(self):
+        ctx = trace.mint()
+        params = {"existing": 1}
+        trace.inject(params, ctx)
+        assert params["existing"] == 1
+        extracted = trace.extract(params)
+        assert extracted is not None
+        assert extracted.trace_id == ctx.trace_id
+        assert extracted.span_id == ctx.span_id
+
+    def test_extract_missing_or_malformed_is_none(self):
+        assert trace.extract({}) is None
+        assert trace.extract({trace.PARAMS_KEY: "junk"}) is None
+        assert trace.extract(None) is None
+
+    def test_worker_span_attrs_mint_child_under_parent_trace(self):
+        ctx = trace.mint()
+        params = {}
+        trace.inject(params, ctx)
+        attrs = trace.worker_span_attrs(params)
+        assert attrs["trace_id"] == ctx.trace_id
+        assert attrs["trace_parent_span_id"] == ctx.span_id
+        assert HEX16.match(attrs["trace_span_id"])
+        assert attrs["trace_span_id"] != ctx.span_id
+
+    def test_worker_span_attrs_without_context_is_empty(self):
+        assert trace.worker_span_attrs({}) == {}
+
+
+class TestSpanAttrs:
+    def test_span_attrs_shape(self):
+        ctx = trace.mint()
+        attrs = ctx.span_attrs()
+        assert attrs == {"trace_id": ctx.trace_id,
+                         "trace_span_id": ctx.span_id}
+        child = ctx.child()
+        attrs = child.span_attrs()
+        assert attrs["trace_parent_span_id"] == ctx.span_id

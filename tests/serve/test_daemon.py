@@ -222,6 +222,14 @@ class TestHealth:
         assert payload["status"] == "ok"
         assert payload["state"] == "running"
 
+    def test_ok_health_reports_untripped_conditions(self, stack):
+        daemon, server = stack()
+        _, payload = get_json(server.url, "/healthz")
+        conditions = payload["conditions"]
+        assert set(conditions) >= {"dead_workers", "queue_saturated",
+                                   "draining"}
+        assert not any(c["tripped"] for c in conditions.values())
+
     def test_saturated_queue_degrades_to_503(self, stack):
         daemon, server = stack(workers=1, solver="debug-sleep@0.5",
                                max_queue=1)
@@ -231,6 +239,12 @@ class TestHealth:
         assert status == 503
         assert payload["status"] == "degraded"
         assert any("saturated" in reason for reason in payload["reasons"])
+        # Machine-readable: the tripped condition names itself and carries
+        # the numbers an alert needs, no string parsing.
+        condition = payload["conditions"]["queue_saturated"]
+        assert condition["tripped"] is True
+        assert condition["queued"] >= condition["max_queue"]
+        assert payload["conditions"]["draining"]["tripped"] is False
 
     def test_draining_is_degraded(self, stack):
         daemon, server = stack()
@@ -238,6 +252,9 @@ class TestHealth:
         status, payload = get_json(server.url, "/healthz")
         assert status == 503
         assert any("not admitting" in r for r in payload["reasons"])
+        condition = payload["conditions"]["draining"]
+        assert condition["tripped"] is True
+        assert condition["state"] in ("draining", "stopped")
 
 
 class TestEventStream:
@@ -328,6 +345,16 @@ class TestStats:
         assert stats["state"] == "running"
         assert stats["pool"]["workers"] == 2
         assert "jobs_dispatched" in stats["pool"]
+        # The observability blocks added with the SLO layer.
+        assert stats["latency"]["overall"]["count"] == 1
+        assert stats["latency"]["per_client"]["alice"]["count"] == 1
+        assert stats["slo"]["observed"] == 1
+        assert 0.0 <= stats["slo"]["budget_remaining"] <= 1.0
+        assert "hit_rate" in stats["memo"]
+        recent = stats["recent"]
+        assert len(recent) == 1
+        assert recent[0]["client"] == "alice"
+        assert recent[0]["trace_id"]
 
     def test_warm_workers_reused_across_jobs(self, stack):
         daemon, server = stack(workers=1)

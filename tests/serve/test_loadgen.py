@@ -73,3 +73,22 @@ def test_report_is_json_serializable(stack):
     report = run_loadgen(server.url, [("p", "text")], clients=1,
                          deadline=30.0)
     json.dumps(report)
+
+
+def test_latency_from_sketch_with_trace_ids(stack):
+    daemon, server = stack
+    problems = [(f"p{i}", f"text {i}") for i in range(8)]
+    report = run_loadgen(server.url, problems, clients=2, deadline=60.0)
+    latency = report["latency"]
+    # The aggregate comes from the shared bounded-memory sketch, so its
+    # count must equal the completed requests and the percentiles must
+    # bracket the raw per-record latencies within the sketch's tolerance.
+    assert latency["count"] == report["completed"]
+    raw = sorted(r["latency"] for r in report["records"]
+                 if r.get("state") == "done")
+    assert raw[0] * 0.9 <= latency["p50"] <= raw[-1] * 1.1
+    assert latency["mean"] > 0
+    # Every completed record carries the daemon-minted trace id.
+    for record in report["records"]:
+        if record.get("state") == "done":
+            assert record["trace_id"] and len(record["trace_id"]) == 32

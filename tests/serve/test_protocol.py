@@ -87,3 +87,28 @@ class TestRawTextSubmissions:
     def test_bad_query_param_rejected(self):
         with pytest.raises(BadRequest):
             parse_submission(b"p", "text/plain", query={"priority": "high"})
+
+
+class TestTraceparent:
+    def test_header_carried_through(self):
+        body, ctype = json_body({"problem": "p"})
+        header = "00-" + "a" * 32 + "-" + "b" * 16 + "-01"
+        request = parse_submission(body, ctype, traceparent=header)
+        assert request.traceparent == header
+
+    def test_inline_field_wins_over_header(self):
+        inline = "00-" + "c" * 32 + "-" + "d" * 16 + "-01"
+        body, ctype = json_body({"problem": "p", "traceparent": inline})
+        request = parse_submission(body, ctype, traceparent="00-header")
+        assert request.traceparent == inline
+
+    def test_query_param_accepted_for_raw_bodies(self):
+        header = "00-" + "e" * 32 + "-" + "f" * 16 + "-01"
+        request = parse_submission(
+            b"(check-synth)", "text/plain", query={"traceparent": header}
+        )
+        assert request.traceparent == header
+
+    def test_absent_is_none(self):
+        body, ctype = json_body({"problem": "p"})
+        assert parse_submission(body, ctype).traceparent is None

@@ -1,0 +1,110 @@
+"""Streaming SLO accounting (repro.serve.slo)."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.slo import OVERFLOW_KEY, SloPolicy, SloTracker, _WindowRing
+
+
+FAST = SloPolicy(objective_seconds=1.0, target=0.9,
+                 fast_window=30.0, slow_window=300.0)
+
+
+class TestPolicy:
+    def test_error_budget(self):
+        assert abs(SloPolicy(target=0.95).error_budget - 0.05) < 1e-9
+
+    def test_perfect_target_budget_clamped_nonzero(self):
+        assert SloPolicy(target=1.0).error_budget > 0
+
+
+class TestWindowRing:
+    def test_counts_inside_window(self):
+        ring = _WindowRing(window=30.0, buckets=30)
+        for second in range(10):
+            ring.observe(100.0 + second, violated=(second % 2 == 0))
+        rates = ring.rates(110.0)
+        assert rates["total"] == 10
+        assert rates["violations"] == 5
+        assert rates["rate"] == 0.5
+
+    def test_old_buckets_recycled(self):
+        ring = _WindowRing(window=30.0, buckets=30)
+        ring.observe(100.0, violated=True)
+        # Far outside the window: the old slot no longer contributes.
+        rates = ring.rates(100.0 + 120.0)
+        assert rates["total"] == 0
+        assert rates["rate"] == 0.0
+
+    def test_empty_ring(self):
+        ring = _WindowRing(window=30.0)
+        assert ring.rates(0.0) == {"total": 0, "violations": 0, "rate": 0.0}
+
+
+class TestTracker:
+    def test_observe_classifies_violations(self):
+        tracker = SloTracker(FAST)
+        assert tracker.observe(0.5, "alice", 0, now=10.0) is False
+        assert tracker.observe(2.0, "alice", 0, now=10.0) is True
+        assert tracker.observed == 2
+        assert tracker.violations == 1
+
+    def test_burn_rate_normalized_by_budget(self):
+        tracker = SloTracker(FAST)  # budget = 0.1
+        for index in range(10):
+            tracker.observe(2.0 if index == 0 else 0.1, "a", 0, now=50.0)
+        # 1 violation / 10 = 0.1 violation rate = exactly the budget.
+        assert abs(tracker.burn_rate(tracker.fast, 50.0) - 1.0) < 1e-9
+
+    def test_budget_remaining_clamped(self):
+        tracker = SloTracker(FAST)
+        for _ in range(10):
+            tracker.observe(5.0, "a", 0, now=50.0)  # all violations
+        assert tracker.budget_remaining(50.0) == 0.0
+        fresh = SloTracker(FAST)
+        assert fresh.budget_remaining(0.0) == 1.0
+
+    def test_per_client_and_priority_families(self):
+        tracker = SloTracker(FAST)
+        tracker.observe(0.2, "alice", 0, now=1.0)
+        tracker.observe(0.4, "bob", 3, now=1.0)
+        latency = tracker.latency_snapshot()
+        assert set(latency["per_client"]) == {"alice", "bob"}
+        assert set(latency["per_priority"]) == {"p0", "p3"}
+        assert latency["overall"]["count"] == 2
+
+    def test_client_cardinality_capped(self):
+        tracker = SloTracker(FAST, max_keys=4)
+        for index in range(10):
+            tracker.observe(0.1, f"client-{index}", 0, now=1.0)
+        assert len(tracker.per_client) == 5  # 4 real + overflow
+        assert OVERFLOW_KEY in tracker.per_client
+        assert tracker.per_client[OVERFLOW_KEY].count == 6
+
+    def test_anonymous_default_client(self):
+        tracker = SloTracker(FAST)
+        tracker.observe(0.1, "", 0, now=1.0)
+        assert "anonymous" in tracker.per_client
+
+    def test_snapshot_shape(self):
+        tracker = SloTracker(FAST)
+        tracker.observe(2.0, "a", 0, now=10.0)
+        snap = tracker.snapshot(10.0)
+        assert snap["objective_seconds"] == 1.0
+        assert snap["observed"] == 1
+        assert snap["violations"] == 1
+        assert snap["burn_rate_fast"] > 1.0
+        assert 0.0 <= snap["budget_remaining"] <= 1.0
+        assert snap["window_fast"]["total"] == 1
+
+    def test_publish_mirrors_into_registry(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker(FAST)
+        tracker.observe(2.0, "a", 0, now=10.0, registry=registry)
+        assert registry.counter("serve.slo_violations").value == 1
+        assert registry.gauge("serve.slo_budget_remaining").value <= 1.0
+        # The live sketch object is installed (not a copy): later
+        # observations show up without another publish.
+        tracker.observe(0.1, "a", 0, now=10.0)
+        assert registry.sketch("serve.request_latency_seconds").count == 2
+        text = registry.to_prometheus()
+        assert "repro_serve_slo_budget_remaining" in text
+        assert "repro_serve_request_latency_seconds_count 2" in text

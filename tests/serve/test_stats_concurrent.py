@@ -1,0 +1,127 @@
+"""Concurrent scrapes against a daemon under load.
+
+``/metrics`` and ``/v1/stats`` are read paths that race the dispatcher and
+pool threads mutating the metrics registry, the SLO tracker, and the recent
+ring.  These tests hammer both endpoints from several threads while jobs
+flow, asserting every response parses (no torn reads, no 500s), and
+exercise the retried-scrape path ``_render_metrics`` takes when a dict
+mutates mid-dump.
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.live import TelemetryServer
+
+from tests.serve.test_daemon import get_json, post_json, stack, wait_terminal  # noqa: F401
+
+
+class TestConcurrentScrapes:
+    def test_scrapes_never_tear_while_jobs_flow(self, stack):  # noqa: F811
+        daemon, server = stack(workers=2, solver="debug-sleep@0.05",
+                               max_queue=32)
+        errors = []
+        stop = threading.Event()
+
+        def scrape_stats():
+            while not stop.is_set():
+                try:
+                    status, payload = get_json(server.url, "/v1/stats")
+                    assert status == 200
+                    # Torn reads would show up as inconsistent JSON or a
+                    # missing always-present block.
+                    assert "slo" in payload and "latency" in payload
+                    assert payload["completed"] <= payload["accepted"]
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+                    return
+
+        def scrape_metrics():
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(
+                        server.url + "/metrics", timeout=10.0
+                    ) as response:
+                        assert response.status == 200
+                        body = response.read().decode()
+                    for line in body.splitlines():
+                        assert line.startswith("#") or " " in line
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+                    return
+
+        scrapers = [threading.Thread(target=scrape_stats) for _ in range(2)]
+        scrapers += [threading.Thread(target=scrape_metrics) for _ in range(2)]
+        for thread in scrapers:
+            thread.start()
+        try:
+            ids = []
+            for index in range(12):
+                status, _, payload = post_json(
+                    server.url,
+                    {"problem": f"p{index}", "client": f"c{index % 3}"},
+                )
+                if status == 202:
+                    ids.append(payload["id"])
+            for serve_id in ids:
+                wait_terminal(server.url, serve_id)
+        finally:
+            stop.set()
+            for thread in scrapers:
+                thread.join(timeout=10.0)
+        assert not errors, errors
+        # The scraped surfaces saw the completed work.
+        _, stats = get_json(server.url, "/v1/stats")
+        assert stats["completed"] == len(ids)
+        assert stats["latency"]["overall"]["count"] == len(ids)
+
+    def test_stats_blocks_consistent_after_load(self, stack):  # noqa: F811
+        daemon, server = stack(workers=2)
+        for index in range(4):
+            _, _, payload = post_json(
+                server.url, {"problem": f"q{index}", "client": "alice"}
+            )
+            wait_terminal(server.url, payload["id"])
+        _, stats = get_json(server.url, "/v1/stats")
+        assert stats["slo"]["observed"] == 4
+        assert stats["latency"]["per_client"]["alice"]["count"] == 4
+        assert len(stats["recent"]) == 4
+        assert {entry["state"] for entry in stats["recent"]} == {"done"}
+
+
+class TestRetriedScrape:
+    def test_render_metrics_retries_runtime_error(self):
+        calls = {"n": 0}
+
+        def flaky_metrics():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("dictionary changed size during iteration")
+            return "# ok\nrepro_up 1\n"
+
+        server = TelemetryServer(port=0, metrics_fn=flaky_metrics)
+        server.start()
+        try:
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=10.0
+            ) as response:
+                body = response.read().decode()
+            assert "repro_up 1" in body
+            assert calls["n"] == 3
+        finally:
+            server.stop()
+
+    def test_render_metrics_gives_up_after_three(self):
+        def always_flaky():
+            raise RuntimeError("dictionary changed size during iteration")
+
+        server = TelemetryServer(port=0, metrics_fn=always_flaky)
+        server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/metrics", timeout=10.0)
+            assert excinfo.value.code == 500
+        finally:
+            server.stop()

@@ -1,0 +1,118 @@
+"""The ``dryadsynth top`` dashboard (repro.serve.top)."""
+
+import io
+
+from repro.serve.top import _bar, _fetch_json, main, render_dashboard, run_top
+
+from tests.serve.test_daemon import post_json, stack, wait_terminal  # noqa: F401
+
+
+SAMPLE_STATS = {
+    "state": "running",
+    "uptime_seconds": 12.5,
+    "accepted": 5,
+    "completed": 4,
+    "inflight": 1,
+    "queued": 0,
+    "max_queue": 16,
+    "shed": 0,
+    "rejected": 1,
+    "pool": {"workers": 2, "workers_alive": 2, "workers_spawned": 2,
+             "jobs_dispatched": 4},
+    "cache": {"hit_rate": 0.5},
+    "memo": {"hit_rate": 0.25},
+    "slo": {"objective_seconds": 5.0, "target": 0.95, "observed": 4,
+            "violations": 1, "burn_rate_fast": 2.0, "burn_rate_slow": 0.5,
+            "budget_remaining": 0.5},
+    "latency": {
+        "overall": {"p50": 0.1, "p90": 0.2, "p95": 0.3, "p99": 0.4,
+                    "count": 4, "mean": 0.15},
+        "per_client": {"alice": {"p50": 0.1, "p90": 0.2, "p95": 0.3,
+                                 "p99": 0.4, "count": 4, "mean": 0.15}},
+        "per_priority": {},
+    },
+    "queue_depths": {"alice": 2},
+    "recent": [
+        {"id": "sv-1", "trace_id": "a" * 32, "client": "alice",
+         "state": "done", "status": "solved", "latency": 0.12},
+    ],
+}
+
+SAMPLE_HEALTH = {
+    "status": "degraded",
+    "conditions": {
+        "queue_saturated": {"tripped": True, "queued": 16, "max_queue": 16},
+        "dead_workers": {"tripped": False},
+    },
+}
+
+
+class TestRenderDashboard:
+    def test_full_frame(self):
+        frame = render_dashboard(SAMPLE_STATS, SAMPLE_HEALTH,
+                                 url="http://h:1")
+        assert "http://h:1" in frame
+        assert "DEGRADED" in frame
+        assert "!! queue_saturated" in frame
+        assert "dead_workers" not in frame  # untripped conditions are quiet
+        assert "accepted=5" in frame
+        assert "cache_hit_rate=0.50" in frame
+        assert "burn fast=2.00" in frame
+        assert "50.0% remaining" in frame
+        assert "alice" in frame
+        assert "a" * 32 in frame  # trace id column
+
+    def test_unreachable_daemon(self):
+        frame = render_dashboard(None, None, url="http://gone")
+        assert "unreachable" in frame
+
+    def test_partial_payload_tolerated(self):
+        frame = render_dashboard({"state": "running"}, None)
+        assert "state=running" in frame
+        assert "health=UNKNOWN" in frame
+
+    def test_color_codes_only_when_asked(self):
+        plain = render_dashboard(SAMPLE_STATS, SAMPLE_HEALTH)
+        assert "\x1b[" not in plain
+        colored = render_dashboard(SAMPLE_STATS, SAMPLE_HEALTH, color=True)
+        assert "\x1b[" in colored
+
+    def test_bar_clamps(self):
+        assert _bar(1.5, width=4) == "####"
+        assert _bar(-1.0, width=4) == "...."
+        assert _bar(0.5, width=4) == "##.."
+
+
+class TestAgainstLiveDaemon:
+    def test_once_probe_renders_real_stats(self, stack):  # noqa: F811
+        daemon, server = stack()
+        _, _, payload = post_json(
+            server.url, {"problem": "p", "client": "alice"}
+        )
+        wait_terminal(server.url, payload["id"])
+        out = io.StringIO()
+        code = run_top(server.url, once=True, stream=out)
+        assert code == 0
+        frame = out.getvalue()
+        assert "completed=1" in frame
+        assert payload["trace_id"] in frame
+        assert "\x1b[2J" not in frame  # --once never clears the screen
+
+    def test_unreachable_probe_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top("http://127.0.0.1:1", once=True, stream=out)
+        assert code == 1
+        assert "unreachable" in out.getvalue()
+
+    def test_main_once(self, stack, capsys):  # noqa: F811
+        daemon, server = stack()
+        code = main([server.url, "--once"])
+        assert code == 0
+        assert "dryadsynth top" in capsys.readouterr().out
+
+    def test_fetch_json_reads_503_body(self, stack):  # noqa: F811
+        daemon, server = stack()
+        daemon.request_drain()
+        payload = _fetch_json(server.url + "/healthz")
+        assert payload is not None
+        assert payload["status"] == "degraded"
