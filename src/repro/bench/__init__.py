@@ -9,7 +9,7 @@ variables, and ad-hoc grammar operators.
 from repro.bench.suite import Benchmark, full_suite, suite_by_track
 from repro.bench.runner import RunResult, SOLVER_NAMES, make_solver, run_suite
 from repro.bench.quick_bench import demo_subset, run_quick_bench
-from repro.bench import report
+from repro.bench import analytics, report
 
 __all__ = [
     "Benchmark",
@@ -21,5 +21,6 @@ __all__ = [
     "run_suite",
     "demo_subset",
     "run_quick_bench",
+    "analytics",
     "report",
 ]

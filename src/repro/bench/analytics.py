@@ -1,0 +1,346 @@
+"""Persistent per-node run analytics (``dryadsynth history``).
+
+The forensics layer (:mod:`repro.obs.forensics`) records what the search
+did *inside one run*, keyed by the process-stable subproblem node id.  This
+module folds each run's span stream + forensics events into one compact
+record per run — per-``stable_node_id``: division strategy chosen,
+deduction rules fired/failed, heights tried, self wall, SMT rounds and
+outcome — and appends it to a committed JSONL store alongside
+``BENCH_history.jsonl``.
+
+That store is the data foundation for history-driven adaptive scheduling
+(ROADMAP item 5): across enough runs it answers "for nodes of this shape,
+which strategies ever fire?" without re-parsing span dumps.  The
+``dryadsynth history`` CLI queries it: per-run rows plus a cross-run
+aggregate for one node, or a store-wide summary of the hottest nodes.
+
+Records are append-only JSONL with the same torn-tail tolerance as every
+other store (:func:`repro.obs.export.read_jsonl_tolerant`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.explain import ExplainReport, build_explain
+from repro.obs.spans import ObsEvent, Span
+
+ANALYTICS_FORMAT = "repro-node-analytics/1"
+
+#: Default store path, next to ``BENCH_history.jsonl``.
+DEFAULT_STORE = "BENCH_analytics.jsonl"
+
+
+def node_entries(report: ExplainReport) -> Dict[str, Dict]:
+    """Fold an explain report into compact per-node analytics entries."""
+    entries: Dict[str, Dict] = {}
+    for node_id, node in report.nodes.items():
+        entry = {
+            "fun": node.fun,
+            "depth": node.depth,
+            "outcome": node.solved_how or "unsolved",
+            "self_wall": round(node.self_wall, 6),
+            "smt_rounds": node.smt_rounds,
+            "smt_calls": node.smt_calls,
+            "cegis_iters": node.cegis_iters,
+        }
+        strategy = node.last_strategy or node.strategy
+        if strategy:
+            entry["strategy"] = strategy
+        if node.heights:
+            entry["heights"] = list(node.heights)
+        if node.parked:
+            entry["parked"] = node.parked
+        if node.rule_outcomes:
+            entry["rules"] = {
+                rule: list(tally)
+                for rule, tally in sorted(node.rule_outcomes.items())
+            }
+        if node.rejects:
+            entry["rejects"] = dict(sorted(node.rejects.items()))
+        if node.problems:
+            entry["problems"] = list(node.problems)
+        entries[node_id] = entry
+    return entries
+
+
+def record_from_run(
+    spans: Sequence[Span],
+    events: Sequence[ObsEvent],
+    solver: Optional[str] = None,
+    timeout: Optional[float] = None,
+    context: Optional[Dict] = None,
+) -> Dict:
+    """Build one analytics record from a run's span/event streams.
+
+    ``solver`` is inferred from the root ``synth`` spans when not given
+    (every instrumented solver stamps it there).
+    """
+    report = build_explain(spans, events)
+    if solver is None:
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.parent_id is not None and span.parent_id in by_id:
+                continue
+            candidate = span.attrs.get("solver")
+            if isinstance(candidate, str) and candidate:
+                solver = candidate
+                break
+    problems = {
+        problem
+        for node in report.nodes.values()
+        for problem in node.problems
+    }
+    record = {
+        "format": ANALYTICS_FORMAT,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "solver": solver or "unknown",
+        "problems": len(problems),
+        "total_wall": round(report.total_wall, 6),
+        "nodes": node_entries(report),
+    }
+    if timeout is not None:
+        record["timeout_seconds"] = timeout
+    if context:
+        record["context"] = dict(context)
+    return record
+
+
+def load_analytics(path: str) -> List[Dict]:
+    """Read an analytics store tolerantly; missing file = empty store."""
+    from repro.obs.export import read_jsonl_tolerant
+
+    try:
+        records = read_jsonl_tolerant(path)
+    except OSError:
+        return []
+    return [r for r in records if r.get("format") == ANALYTICS_FORMAT]
+
+
+def append_analytics(path: str, record: Dict) -> None:
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def query_node(
+    records: Iterable[Dict], node_id: str
+) -> List[Tuple[Dict, Dict]]:
+    """All ``(run_record, node_entry)`` pairs mentioning ``node_id``."""
+    rows: List[Tuple[Dict, Dict]] = []
+    for record in records:
+        entry = record.get("nodes", {}).get(node_id)
+        if entry is not None:
+            rows.append((record, entry))
+    return rows
+
+
+def aggregate_node(rows: Sequence[Tuple[Dict, Dict]]) -> Dict:
+    """Cross-run summary of one node — the adaptive-scheduling features."""
+    outcomes: Dict[str, int] = {}
+    strategies: Dict[str, int] = {}
+    rules: Dict[str, List[int]] = {}
+    heights: set = set()
+    total_wall = 0.0
+    smt_rounds = 0
+    for _, entry in rows:
+        outcome = entry.get("outcome", "unsolved")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        strategy = entry.get("strategy")
+        if strategy:
+            strategies[strategy] = strategies.get(strategy, 0) + 1
+        for rule, tally in entry.get("rules", {}).items():
+            merged = rules.setdefault(rule, [0, 0])
+            merged[0] += tally[0]
+            merged[1] += tally[1]
+        heights.update(entry.get("heights", []))
+        total_wall += float(entry.get("self_wall", 0.0))
+        smt_rounds += int(entry.get("smt_rounds", 0))
+    runs = len(rows)
+    return {
+        "runs": runs,
+        "solved_runs": sum(
+            count for outcome, count in outcomes.items()
+            if outcome != "unsolved"
+        ),
+        "outcomes": outcomes,
+        "strategies": strategies,
+        "rules": rules,
+        "heights": sorted(heights),
+        "total_self_wall": round(total_wall, 6),
+        "mean_self_wall": round(total_wall / runs, 6) if runs else 0.0,
+        "smt_rounds": smt_rounds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering (the ``dryadsynth history`` report)
+# ---------------------------------------------------------------------------
+
+
+def render_node_history(
+    node_id: str, rows: Sequence[Tuple[Dict, Dict]]
+) -> str:
+    """Per-run rows + cross-run aggregate for one node."""
+    if not rows:
+        return f"{node_id}: no analytics records"
+    summary = aggregate_node(rows)
+    fun = rows[-1][1].get("fun", "?")
+    lines = [
+        f"{node_id} {fun}: runs: {summary['runs']} "
+        f"(solved in {summary['solved_runs']}), mean self wall "
+        f"{summary['mean_self_wall']:.3f}s, "
+        f"{summary['smt_rounds']} SMT round(s) total"
+    ]
+    if summary["strategies"]:
+        strategies = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(
+                summary["strategies"].items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"  strategies: {strategies}")
+    if summary["rules"]:
+        rules = ", ".join(
+            f"{rule} {tally[0]}f/{tally[1]}x"
+            for rule, tally in sorted(summary["rules"].items())
+        )
+        lines.append(f"  rules (fired/failed): {rules}")
+    if summary["heights"]:
+        lines.append(
+            "  heights tried: "
+            + ", ".join(str(h) for h in summary["heights"])
+        )
+    lines.append("  per-run:")
+    for record, entry in rows:
+        detail = [
+            entry.get("outcome", "unsolved"),
+            f"self {float(entry.get('self_wall', 0.0)):.3f}s",
+            f"smt {entry.get('smt_rounds', 0)}r",
+        ]
+        if entry.get("strategy"):
+            detail.append(f"strategy {entry['strategy']}")
+        if entry.get("cegis_iters"):
+            detail.append(f"cegis {entry['cegis_iters']}it")
+        lines.append(
+            f"    {record.get('recorded_at', '?'):<21} "
+            f"{record.get('solver', '?'):<12} " + ", ".join(detail)
+        )
+    return "\n".join(lines)
+
+
+def render_store_summary(records: Sequence[Dict], top: int = 10) -> str:
+    """Store-wide view: hottest nodes by cumulative self wall."""
+    if not records:
+        return "analytics store is empty"
+    per_node: Dict[str, Dict] = {}
+    for record in records:
+        for node_id, entry in record.get("nodes", {}).items():
+            agg = per_node.setdefault(
+                node_id,
+                {"fun": entry.get("fun", "?"), "runs": 0, "solved": 0,
+                 "wall": 0.0, "smt_rounds": 0},
+            )
+            agg["runs"] += 1
+            agg["solved"] += int(entry.get("outcome", "unsolved") != "unsolved")
+            agg["wall"] += float(entry.get("self_wall", 0.0))
+            agg["smt_rounds"] += int(entry.get("smt_rounds", 0))
+    ranked = sorted(per_node.items(), key=lambda kv: -kv[1]["wall"])
+    lines = [
+        f"analytics store: {len(records)} run record(s), "
+        f"{len(per_node)} distinct node(s)"
+    ]
+    lines.append(
+        f"  {'node':<14} {'fun':<14} {'runs':>5} {'solved':>7} "
+        f"{'self wall':>10} {'smt':>7}"
+    )
+    for node_id, agg in ranked[:top]:
+        lines.append(
+            f"  {node_id:<14} {agg['fun']:<14} {agg['runs']:>5} "
+            f"{agg['solved']:>7} {agg['wall']:>9.3f}s {agg['smt_rounds']:>7}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Regression attribution (bench-compare --explain)
+# ---------------------------------------------------------------------------
+
+
+def attribute_regression(
+    comparison,
+    record: Dict,
+    spans: Optional[Sequence[Span]] = None,
+    events: Optional[Sequence[ObsEvent]] = None,
+    top: int = 3,
+) -> str:
+    """Explain a failed (or drifting) bench-compare gate.
+
+    Problem-level culprits come straight from the history deltas the gate
+    already computed (missing solves + top wall growers); when the current
+    run's span dump is available the culprits are drilled into per-phase
+    and per-node attribution (:func:`repro.obs.diff.problem_breakdown`),
+    so a CI failure names the node where the time sits, not just the
+    problem.
+    """
+    from repro.obs.diff import problem_breakdown, split_by_problem
+    from repro.obs.explain import build_explain as _build_explain
+
+    lines: List[str] = ["regression attribution:"]
+    culprits: List[str] = []
+    if comparison.missing:
+        lines.append(
+            f"  solved-set loss ({len(comparison.missing)}): "
+            + ", ".join(comparison.missing[:top])
+            + (" ..." if len(comparison.missing) > top else "")
+        )
+        culprits.extend(comparison.missing[:top])
+    if comparison.top_growers:
+        lines.append(
+            f"  top-{min(top, len(comparison.top_growers))} wall growers:"
+        )
+        for name, baseline, current in comparison.top_growers[:top]:
+            per_problem = record.get("per_problem", {}).get(name, {})
+            state = "solved" if per_problem.get("solved") else "unsolved"
+            lines.append(
+                f"    {name}: {baseline:.3f}s -> {current:.3f}s "
+                f"({current - baseline:+.3f}s, now {state})"
+            )
+            if name not in culprits:
+                culprits.append(name)
+    if not culprits:
+        lines.append("  no per-problem deltas available to attribute")
+        return "\n".join(lines)
+    if spans is None:
+        lines.append(
+            "  (no span dump available - rerun with --spans-out, or pass "
+            "--spans, for phase/node attribution)"
+        )
+        return "\n".join(lines)
+    lines.append("  phase/node attribution from the span dump:")
+    lines.append(problem_breakdown(spans, events or [], culprits, top=top))
+    # Unsolved culprits: name the failure frontier so the report says where
+    # the search got stuck, not only where the time went.
+    groups = split_by_problem(spans, events or [])
+    for name in culprits:
+        if name not in groups:
+            continue
+        report = _build_explain(*groups[name])
+        if report.solved or not report.frontier:
+            continue
+        frontier = report.frontier[0]
+        detail = [f"depth {frontier.depth}"]
+        if frontier.last_strategy or frontier.strategy:
+            detail.append(
+                f"last strategy {frontier.last_strategy or frontier.strategy}"
+            )
+        if frontier.last_rule:
+            detail.append(f"last rule {frontier.last_rule}")
+        if frontier.last_height is not None:
+            detail.append(f"height {frontier.last_height}")
+        lines.append(
+            f"  {name} frontier: {frontier.node_id} {frontier.fun} "
+            f"({', '.join(detail)})"
+        )
+    return "\n".join(lines)

@@ -160,27 +160,21 @@ def record_from_smt_bench(
 
 
 def load_history(path: str) -> List[Dict]:
-    """Read a history JSONL store tolerantly (blank/torn lines dropped)."""
-    history: List[Dict] = []
+    """Read a history JSONL store tolerantly.
+
+    Same contract as :func:`repro.obs.export.read_jsonl_tolerant` (which
+    does the reading): a truncated trailing line — even one torn inside a
+    multi-byte UTF-8 character — is dropped as the residue of an
+    interrupted append; a corrupt interior line raises.  A missing file is
+    an empty history.
+    """
+    from repro.obs.export import read_jsonl_tolerant
+
     try:
-        with open(path) as handle:
-            lines = handle.read().split("\n")
+        records = read_jsonl_tolerant(path)
     except OSError:
         return []
-    last = max((i for i, l in enumerate(lines) if l.strip()), default=-1)
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if index == last:
-                continue  # torn tail from an interrupted append
-            raise
-        if record.get("format") == HISTORY_FORMAT:
-            history.append(record)
-    return history
+    return [r for r in records if r.get("format") == HISTORY_FORMAT]
 
 
 def append_history(path: str, record: Dict) -> None:
@@ -207,6 +201,10 @@ class Comparison:
     smt_wall_baseline: Optional[float] = None
     smt_wall_current: Optional[float] = None
     smt_wall_growth: Optional[float] = None
+    #: Per-problem wall growers vs the trailing baseline medians, largest
+    #: absolute growth first: ``(problem, baseline_wall, current_wall)``.
+    #: Reported even on PASS so passing-but-drifting runs stay visible.
+    top_growers: List[tuple] = field(default_factory=list)
 
     def render(self) -> str:
         lines = []
@@ -247,6 +245,13 @@ class Comparison:
                 f"  corpus replay wall: {self.smt_wall_current:.4f}s vs "
                 f"baseline {self.smt_wall_baseline:.4f}s ({growth})"
             )
+        if self.top_growers:
+            growers = "; ".join(
+                f"{name} {current - baseline:+.3f}s "
+                f"({baseline:.3f}s -> {current:.3f}s)"
+                for name, baseline, current in self.top_growers
+            )
+            lines.append(f"  per-problem wall growth (top 3): {growers}")
         if self.new_solves:
             lines.append(
                 f"  newly solved vs baseline: {', '.join(self.new_solves)}"
@@ -305,6 +310,7 @@ def compare(
     baseline_walls: List[float] = []
     current_walls: List[float] = []
     per_problem = record.get("per_problem", {})
+    growers: List[tuple] = []
     for name in common:
         samples = [
             entry["per_problem"][name]["wall"]
@@ -315,6 +321,10 @@ def compare(
             continue
         baseline_walls.append(statistics.median(samples))
         current_walls.append(per_problem[name]["wall"])
+        if current_walls[-1] > baseline_walls[-1]:
+            growers.append((name, baseline_walls[-1], current_walls[-1]))
+    growers.sort(key=lambda g: -(g[2] - g[1]))
+    result.top_growers = growers[:3]
     if baseline_walls:
         result.median_wall_baseline = statistics.median(baseline_walls)
         result.median_wall_current = statistics.median(current_walls)

@@ -154,6 +154,14 @@ def main(argv=None) -> int:
         "`dryadsynth explain`)",
     )
     parser.add_argument(
+        "--analytics-out",
+        metavar="PATH",
+        default=None,
+        help="fold the run's forensics into one per-node analytics record "
+        "and append it to PATH (implies --telemetry; query with "
+        "`dryadsynth history --store PATH`)",
+    )
+    parser.add_argument(
         "--smt-corpus",
         metavar="DIR",
         default=None,
@@ -187,7 +195,12 @@ def main(argv=None) -> int:
 
 
 def _main_impl(args) -> int:
-    telemetry = bool(args.telemetry or args.metrics_out or args.spans_out)
+    telemetry = bool(
+        args.telemetry
+        or args.metrics_out
+        or args.spans_out
+        or args.analytics_out
+    )
     result = run_quick_bench(
         args.solver,
         args.timeout,
@@ -223,6 +236,22 @@ def _main_impl(args) -> int:
 
         write_spans_jsonl(result["recorder"], args.spans_out)
         print(f"wrote {args.spans_out}")
+    if args.analytics_out:
+        from repro.bench.analytics import append_analytics, record_from_run
+
+        recorder = result["recorder"]
+        record = record_from_run(
+            recorder.spans,
+            recorder.events,
+            solver=args.solver,
+            timeout=args.timeout,
+            context={"suite": "quick-bench"},
+        )
+        append_analytics(args.analytics_out, record)
+        print(
+            f"appended {len(record['nodes'])} node record(s) to "
+            f"{args.analytics_out}"
+        )
     if args.smt_corpus:
         print(f"wrote SMT query corpus into {args.smt_corpus}/")
     if args.min_solved is not None and summary["solved"] < args.min_solved:

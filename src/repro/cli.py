@@ -35,6 +35,14 @@ and timing percentiles (:mod:`repro.smt.capture`).
 solver-only (no synthesis loop in the measurement), query-memo enabled,
 and the total replay wall gated against the ``smt-bench`` records in
 ``BENCH_history.jsonl`` (see docs/SMT.md).
+
+``dryadsynth diff runA.jsonl runB.jsonl`` compares two runs' span dumps:
+per-node self-wall deltas aligned by stable node id, solved-set changes,
+strategy drift and the rule-firing delta table (:mod:`repro.obs.diff`).
+
+``dryadsynth history`` queries the committed per-node analytics store
+(``BENCH_analytics.jsonl``): how a subproblem node behaved across runs —
+strategies, rule firings, heights, outcomes (:mod:`repro.bench.analytics`).
 """
 
 from __future__ import annotations
@@ -221,6 +229,10 @@ def main(argv: Optional[list] = None) -> int:
         return _bench_compare_main(argv[1:])
     if argv and argv[0] == "explain":
         return _explain_main(argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
+    if argv and argv[0] == "history":
+        return _history_main(argv[1:])
     if argv and argv[0] == "smt-replay":
         return _smt_replay_main(argv[1:])
     if argv and argv[0] == "smt-bench":
@@ -854,7 +866,61 @@ def build_bench_compare_arg_parser() -> argparse.ArgumentParser:
         help="also write this run's history record as JSON to PATH "
         "(the CI artifact)",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="on gate failure, attribute the regression: name the "
+        "genuinely-slower problems and — when a span dump is available — "
+        "the phases and subproblem nodes where the time went",
+    )
+    parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="PATH",
+        help="span dump of the gated run for --explain drill-down "
+        "(default: <from-dir>/quick_bench.spans.jsonl when --from-dir "
+        "is given)",
+    )
+    parser.add_argument(
+        "--baseline-spans",
+        default=None,
+        metavar="PATH",
+        help="span dump of a baseline run; with --explain, prints the "
+        "full per-node run diff (`dryadsynth diff`) against it",
+    )
     return parser
+
+
+def _explain_comparison(args, comparison, record) -> None:
+    """The ``bench-compare --explain`` drill-down, printed after the gate."""
+    import os
+
+    from repro.bench.analytics import attribute_regression
+
+    spans = events = None
+    spans_path = args.spans
+    if spans_path is None and args.from_dir:
+        candidate = os.path.join(args.from_dir, "quick_bench.spans.jsonl")
+        if os.path.exists(candidate):
+            spans_path = candidate
+    if spans_path:
+        from repro.obs.export import read_spans_jsonl
+
+        try:
+            spans, events, _ = read_spans_jsonl(spans_path)
+        except (OSError, ValueError) as exc:
+            print(f"warning: cannot read spans: {exc}", file=sys.stderr)
+    print(attribute_regression(comparison, record, spans=spans, events=events))
+    if args.baseline_spans and spans_path:
+        from repro.obs.diff import diff_from_files, render_diff
+
+        try:
+            diff = diff_from_files(args.baseline_spans, spans_path)
+        except (OSError, ValueError) as exc:
+            print(f"warning: cannot diff spans: {exc}", file=sys.stderr)
+            return
+        print()
+        print(render_diff(diff))
 
 
 def _bench_compare_main(argv) -> int:
@@ -898,6 +964,8 @@ def _bench_compare_main(argv) -> int:
         max_latency_growth=args.max_latency_growth,
     )
     print(comparison.render())
+    if args.explain and not comparison.ok:
+        _explain_comparison(args, comparison, record)
     if args.record_out:
         try:
             with open(args.record_out, "w") as handle:
@@ -1059,6 +1127,155 @@ def _explain_main(argv) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
+
+
+def build_diff_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth diff",
+        description=(
+            "Compare two runs' span dumps: per-node self-wall deltas "
+            "aligned by stable node id (they partition the total wall "
+            "delta exactly), per-problem movers, solved-set changes, "
+            "division-strategy drift and the rule-firing delta table."
+        ),
+    )
+    parser.add_argument("run_a", help="baseline span JSONL (from --spans-out)")
+    parser.add_argument("run_b", help="candidate span JSONL to compare")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="node/problem movers to show (default: 10)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diff as JSON (repro-run-diff/1) instead of a report",
+    )
+    return parser
+
+
+def _diff_main(argv) -> int:
+    from repro.obs.diff import diff_from_files, render_diff
+
+    args = build_diff_arg_parser().parse_args(argv)
+    try:
+        diff = diff_from_files(args.run_a, args.run_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(diff.to_json(), indent=1, sort_keys=True))
+        else:
+            print(render_diff(diff, top=args.top))
+    except BrokenPipeError:
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def build_history_arg_parser() -> argparse.ArgumentParser:
+    from repro.bench.analytics import DEFAULT_STORE
+
+    parser = argparse.ArgumentParser(
+        prog="dryadsynth history",
+        description=(
+            "Query the per-node analytics store: how a subproblem node "
+            "behaved across recorded runs (strategies, deduction rules, "
+            "heights, outcomes, self wall).  With no node ids, prints the "
+            "store-wide summary of the hottest nodes.  Exit codes: 0 ok, "
+            "1 a queried node has no records, 2 usage/IO."
+        ),
+    )
+    parser.add_argument(
+        "node_ids",
+        nargs="*",
+        help="stable node id(s) to query (as printed by explain/diff)",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        metavar="PATH",
+        help=f"analytics JSONL store (default: {DEFAULT_STORE})",
+    )
+    parser.add_argument(
+        "--from-spans",
+        default=None,
+        metavar="PATH",
+        help="fold a span dump (from --spans-out) into a new analytics "
+        "record first; with --append it is persisted to the store",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append the --from-spans record to the store",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="nodes in the store-wide summary (default: 10)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit records/aggregates as JSON instead of a report",
+    )
+    return parser
+
+
+def _history_main(argv) -> int:
+    from repro.bench import analytics
+
+    args = build_history_arg_parser().parse_args(argv)
+    records = analytics.load_analytics(args.store)
+    if args.from_spans:
+        from repro.obs.export import read_spans_jsonl
+
+        try:
+            spans, events, _ = read_spans_jsonl(args.from_spans)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        record = analytics.record_from_run(spans, events)
+        records.append(record)
+        if args.append:
+            try:
+                analytics.append_analytics(args.store, record)
+            except OSError as exc:
+                print(f"error: cannot append: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"recorded {len(record['nodes'])} node(s) into "
+                f"{args.store}",
+                file=sys.stderr,
+            )
+    if not args.node_ids:
+        if args.json:
+            print(json.dumps(records, indent=1, sort_keys=True))
+        else:
+            print(analytics.render_store_summary(records, top=args.top))
+        return 0
+    missing = False
+    payload = {}
+    for node_id in args.node_ids:
+        rows = analytics.query_node(records, node_id)
+        if not rows:
+            missing = True
+        if args.json:
+            payload[node_id] = {
+                "aggregate": analytics.aggregate_node(rows) if rows else None,
+                "runs": [entry for _, entry in rows],
+            }
+        else:
+            print(analytics.render_node_history(node_id, rows))
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    return 1 if missing else 0
 
 
 def build_smt_replay_arg_parser() -> argparse.ArgumentParser:

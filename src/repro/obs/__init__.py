@@ -8,7 +8,10 @@ Six layers (see ``docs/OBSERVABILITY.md``):
   with mergeable snapshots — the cross-process aggregation format.
 - **Exports** (:mod:`repro.obs.export`, :mod:`repro.obs.profile`): JSONL
   span sink, Prometheus text dump, and the ``dryadsynth profile``
-  time-attribution report.
+  time-attribution report.  On top of the dumps sit the forensics
+  reports: ``dryadsynth explain`` (:mod:`repro.obs.explain`) for one run
+  and ``dryadsynth diff`` (:mod:`repro.obs.diff`) for run-over-run
+  regression attribution.
 - **Structured logging** (:mod:`repro.obs.log`): JSON-lines service log
   with job/problem correlation IDs (``--log-json``).
 - **Live telemetry** (:mod:`repro.obs.live`): an in-process HTTP endpoint

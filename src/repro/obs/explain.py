@@ -49,10 +49,30 @@ class NodeReport:
     last_rule: Optional[str] = None  # last deduct.rule resolved to node
     last_cex: Optional[str] = None
     rejects: Dict[str, int] = field(default_factory=dict)
+    #: Problems (root ``synth`` spans) this node was worked under — node IDs
+    #: are problem-independent, so a shared subproblem can list several.
+    problems: List[str] = field(default_factory=list)
+    #: Distinct enumeration heights seen (cegis.iter / graph.park events).
+    heights: List[int] = field(default_factory=list)
+    #: Per-node deduction-rule tallies: rule -> [fired, failed] (the global
+    #: run-wide table is :class:`RuleRow`; this is the per-node analytics cut).
+    rule_outcomes: Dict[str, List[int]] = field(default_factory=dict)
 
     @property
     def solved(self) -> bool:
         return self.solved_how is not None
+
+    def note_problem(self, problem: Optional[str]) -> None:
+        if problem and problem not in self.problems:
+            self.problems.append(problem)
+
+    def note_height(self, height) -> None:
+        if height is None:
+            return
+        height = int(height)
+        if height not in self.heights:
+            self.heights.append(height)
+            self.heights.sort()
 
 
 @dataclass
@@ -99,8 +119,10 @@ class ExplainReport:
         return self.run_self_wall + sum(n.self_wall for n in self.nodes.values())
 
 
-def _node_of_span(span_id: Optional[int], by_id: Dict[int, Span]) -> Optional[str]:
-    """The ``node`` attr of the nearest enclosing span, walking ancestors."""
+def ancestor_attr(
+    span_id: Optional[int], by_id: Dict[int, Span], key: str
+) -> Optional[str]:
+    """The ``key`` attr of the nearest enclosing span, walking ancestors."""
     seen = set()
     current = span_id
     while current is not None and current not in seen:
@@ -108,11 +130,15 @@ def _node_of_span(span_id: Optional[int], by_id: Dict[int, Span]) -> Optional[st
         span = by_id.get(current)
         if span is None:
             return None
-        node = span.attrs.get("node")
-        if isinstance(node, str) and node:
-            return node
+        value = span.attrs.get(key)
+        if isinstance(value, str) and value:
+            return value
         current = span.parent_id
     return None
+
+
+def _node_of_span(span_id: Optional[int], by_id: Dict[int, Span]) -> Optional[str]:
+    return ancestor_attr(span_id, by_id, "node")
 
 
 def build_explain(
@@ -130,9 +156,7 @@ def build_explain(
         return report
 
     order: List[str] = []
-    for event in events:
-        if event.domain != forensics.DOMAIN:
-            continue
+    for event in forensics.iter_events(events):
         attrs = event.attrs
         node_id = attrs.get("node")
         if event.name == forensics.GRAPH_NODE and isinstance(node_id, str):
@@ -157,6 +181,7 @@ def build_explain(
             report.parked += 1
             if attrs.get("height") is not None:
                 report.last_height = int(attrs["height"])
+                report.note_height(attrs["height"])
 
     # Parent/child links (preserving event order for stable rendering).
     for node_id in order:
@@ -183,7 +208,9 @@ def build_explain(
         if owner is None:
             run_self += self_wall
         else:
-            node(owner).self_wall += self_wall
+            report = node(owner)
+            report.self_wall += self_wall
+            report.note_problem(ancestor_attr(span.span_id, by_id, "problem"))
         if span.name == "smt.solve":
             target = node(owner) if owner is not None else None
             if target is not None:
@@ -194,9 +221,7 @@ def build_explain(
 
     # -- Event-to-node resolution for rules / choices / cexes ----------------
     rules: Dict[str, RuleRow] = {}
-    for event in events:
-        if event.domain != forensics.DOMAIN:
-            continue
+    for event in forensics.iter_events(events):
         attrs = event.attrs
         owner = attrs.get("node")
         if not isinstance(owner, str) or not owner:
@@ -220,6 +245,11 @@ def build_explain(
                 row.delta += int(attrs["delta"])
             if report is not None:
                 report.last_rule = rule_name
+                tally = report.rule_outcomes.setdefault(rule_name, [0, 0])
+                if outcome == "fired":
+                    tally[0] += 1
+                elif outcome == "failed":
+                    tally[1] += 1
         elif event.name in (forensics.DIVIDE_CHOICE, forensics.DIVIDE_REJECT):
             if report is not None:
                 strategy = attrs.get("strategy")
@@ -233,6 +263,7 @@ def build_explain(
                 report.cegis_iters += 1
                 if attrs.get("height") is not None:
                     report.last_height = int(attrs["height"])
+                    report.note_height(attrs["height"])
         elif event.name == forensics.CEGIS_CEX:
             if report is not None and attrs.get("cex") is not None:
                 report.last_cex = str(attrs["cex"])

@@ -43,31 +43,47 @@ def dump_spans_jsonl(recorder: SpanRecorder, handle: TextIO) -> None:
         handle.write(json.dumps({"event": event.to_json()}) + "\n")
 
 
+def read_jsonl_tolerant(path: str) -> List[Dict]:
+    """Read a JSONL file whose *final* line may be torn mid-write.
+
+    The shared contract for every append-only store in the repo (span
+    dumps, ``BENCH_history.jsonl``, the per-node analytics store): a writer
+    killed mid-append (SIGKILL, hard deadline, power loss) leaves a
+    truncated trailing line behind, and that torn tail — including one cut
+    in the middle of a multi-byte UTF-8 character, which a text-mode read
+    would die on before reaching any line — is silently dropped so every
+    complete record before it is still recovered.  A corrupt *interior*
+    line still raises, because that means the file is damaged, not merely
+    unfinished.
+    """
+    with open(path, "rb") as handle:
+        raw_lines = handle.read().split(b"\n")
+    last = max(
+        (i for i, raw in enumerate(raw_lines) if raw.strip()), default=-1
+    )
+    records: List[Dict] = []
+    for index, raw in enumerate(raw_lines):
+        if not raw.strip():
+            continue
+        try:
+            records.append(json.loads(raw))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if index == last:
+                continue  # torn tail from an interrupted append
+            raise
+    return records
+
+
 def read_spans_jsonl(path: str) -> Tuple[List[Span], List[ObsEvent], Dict]:
     """Load a spans JSONL file; returns ``(spans, events, header)``.
 
-    Unknown record kinds are skipped so future writers stay readable.  A
-    *truncated final line* — what a writer killed mid-write (SIGKILL, hard
-    deadline) leaves behind — is silently dropped, so every complete record
-    before the torn tail is still recovered; a corrupt *interior* line still
-    raises, because that means the file is damaged, not merely unfinished.
+    Unknown record kinds are skipped so future writers stay readable;
+    torn-tail tolerance follows :func:`read_jsonl_tolerant`.
     """
     spans: List[Span] = []
     events: List[ObsEvent] = []
     header: Dict = {}
-    with open(path) as handle:
-        lines = handle.read().split("\n")
-    last = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if index == last:
-                break
-            raise
+    for record in read_jsonl_tolerant(path):
         if "span" in record:
             spans.append(Span.from_json(record["span"]))
         elif "event" in record:

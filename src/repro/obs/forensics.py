@@ -49,7 +49,7 @@ installed; the disabled cost is one attribute load and a ``None`` check.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro import obs
 
@@ -72,6 +72,22 @@ CEGIS_CEX = "cegis.cex"
 def enabled() -> bool:
     """True when forensics events are being recorded."""
     return obs.active() is not None
+
+
+def iter_events(events: Iterable, *names: str) -> Iterator:
+    """Yield the forensics-domain events of a stream, oldest first.
+
+    ``names`` optionally restricts the yield to specific event names.  Every
+    consumer of the event stream (``explain``, ``diff``, the analytics
+    folder) needs the same domain filter; sharing it here keeps them from
+    drifting on what counts as a forensics record.
+    """
+    wanted = frozenset(names) if names else None
+    for event in events:
+        if event.domain != DOMAIN:
+            continue
+        if wanted is None or event.name in wanted:
+            yield event
 
 
 def emit(event: str, **attrs) -> None:

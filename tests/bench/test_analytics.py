@@ -1,0 +1,176 @@
+"""Per-node analytics store (repro.bench.analytics / dryadsynth history)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.analytics import (
+    ANALYTICS_FORMAT,
+    aggregate_node,
+    append_analytics,
+    attribute_regression,
+    load_analytics,
+    query_node,
+    record_from_run,
+    render_node_history,
+    render_store_summary,
+)
+from repro.bench.runner import make_solver
+from repro.sygus.parser import parse_sygus_text
+
+from tests.obs.test_forensics import MAX2
+
+
+@pytest.fixture(scope="module")
+def max2_recorder():
+    problem = parse_sygus_text(MAX2, "max2")
+    solver = make_solver("dryadsynth", 5.0)
+    with obs.recording() as recorder:
+        outcome = solver.synthesize(problem)
+    assert outcome.solution is not None
+    return recorder
+
+
+@pytest.fixture(scope="module")
+def max2_record(max2_recorder):
+    return record_from_run(max2_recorder.spans, max2_recorder.events)
+
+
+class TestRecordFromRun:
+    def test_shape_and_solver_inference(self, max2_record):
+        record = max2_record
+        assert record["format"] == ANALYTICS_FORMAT
+        assert record["solver"] == "dryadsynth"  # from the root synth span
+        assert record["recorded_at"].endswith("Z")
+        assert record["nodes"]
+        json.dumps(record)  # must be JSONL-serializable as-is
+
+    def test_node_entries_carry_the_forensics_cut(self, max2_record):
+        entries = list(max2_record["nodes"].values())
+        source = next(e for e in entries if e["fun"] == "max2")
+        assert source["outcome"] == "direct"
+        assert source["self_wall"] > 0
+        assert source["smt_rounds"] > 0
+        # The Figure 7/8 rules the deductive pass fired on max2.
+        assert set(source["rules"]) & {"ge-max", "ge-min", "le-max", "eq"}
+        for tally in source["rules"].values():
+            assert len(tally) == 2  # [fired, failed]
+        assert source["problems"] == ["max2"]
+
+    def test_explicit_solver_and_context_win(self, max2_recorder):
+        record = record_from_run(
+            max2_recorder.spans,
+            max2_recorder.events,
+            solver="custom",
+            timeout=3.0,
+            context={"suite": "test"},
+        )
+        assert record["solver"] == "custom"
+        assert record["timeout_seconds"] == 3.0
+        assert record["context"] == {"suite": "test"}
+
+
+class TestStore:
+    def test_append_load_round_trip(self, tmp_path, max2_record):
+        path = str(tmp_path / "analytics.jsonl")
+        append_analytics(path, max2_record)
+        append_analytics(path, max2_record)
+        loaded = load_analytics(path)
+        assert len(loaded) == 2
+        assert loaded[0]["nodes"].keys() == max2_record["nodes"].keys()
+
+    def test_missing_file_is_empty_store(self, tmp_path):
+        assert load_analytics(str(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_final_line_tolerated(self, tmp_path, max2_record):
+        path = str(tmp_path / "analytics.jsonl")
+        append_analytics(path, max2_record)
+        with open(path, "a") as handle:
+            handle.write('{"format": "repro-node-analytics/1", "nod')
+        assert len(load_analytics(path)) == 1
+
+    def test_foreign_records_skipped(self, tmp_path):
+        path = tmp_path / "analytics.jsonl"
+        path.write_text('{"format": "repro-bench-history/1"}\n')
+        assert load_analytics(str(path)) == []
+
+
+class TestQueryAndAggregate:
+    def test_query_node_across_runs(self, max2_record):
+        node_id = next(iter(max2_record["nodes"]))
+        rows = query_node([max2_record, max2_record], node_id)
+        assert len(rows) == 2
+        assert query_node([max2_record], "nope") == []
+
+    def test_aggregate_merges_outcomes_and_rules(self, max2_record):
+        node_id = next(
+            n for n, e in max2_record["nodes"].items() if e["fun"] == "max2"
+        )
+        rows = query_node([max2_record, max2_record], node_id)
+        summary = aggregate_node(rows)
+        assert summary["runs"] == 2
+        assert summary["solved_runs"] == 2
+        assert summary["outcomes"] == {"direct": 2}
+        entry = max2_record["nodes"][node_id]
+        for rule, tally in entry["rules"].items():
+            assert summary["rules"][rule] == [tally[0] * 2, tally[1] * 2]
+        assert summary["mean_self_wall"] == pytest.approx(
+            entry["self_wall"], abs=1e-6
+        )
+
+    def test_render_node_history_mentions_runs_and_rules(self, max2_record):
+        node_id = next(
+            n for n, e in max2_record["nodes"].items() if e["fun"] == "max2"
+        )
+        rows = query_node([max2_record], node_id)
+        text = render_node_history(node_id, rows)
+        assert "runs: 1" in text
+        assert "rules (fired/failed)" in text
+        assert node_id in text
+        assert render_node_history("nope", []) == (
+            "nope: no analytics records"
+        )
+
+    def test_render_store_summary_ranks_by_wall(self, max2_record):
+        text = render_store_summary([max2_record, max2_record])
+        assert "2 run record(s)" in text
+        assert "max2" in text
+        assert render_store_summary([]) == "analytics store is empty"
+
+
+class TestAttributeRegression:
+    def _comparison(self, missing=(), growers=()):
+        from repro.bench.history import Comparison
+
+        comparison = Comparison()
+        comparison.missing = list(missing)
+        comparison.top_growers = list(growers)
+        return comparison
+
+    def test_names_missing_and_growers_without_spans(self):
+        comparison = self._comparison(
+            missing=["lost1"], growers=[("slow1", 0.1, 0.9)]
+        )
+        text = attribute_regression(comparison, {"per_problem": {}})
+        assert "solved-set loss" in text
+        assert "lost1" in text
+        assert "slow1: 0.100s -> 0.900s" in text
+        assert "no span dump available" in text
+
+    def test_no_culprits_degrades_gracefully(self):
+        text = attribute_regression(self._comparison(), {})
+        assert "no per-problem deltas" in text
+
+    def test_drills_into_spans_when_available(self, max2_recorder):
+        comparison = self._comparison(growers=[("max2", 0.01, 0.5)])
+        record = {"per_problem": {"max2": {"solved": True}}}
+        text = attribute_regression(
+            comparison,
+            record,
+            spans=max2_recorder.spans,
+            events=max2_recorder.events,
+        )
+        assert "phase/node attribution" in text
+        assert "max2: wall" in text
+        assert "node " in text

@@ -91,6 +91,37 @@ class TestHistoryStore:
         path.write_text('{"format": "something-else/9"}\n')
         assert load_history(str(path)) == []
 
+    def test_tail_torn_inside_multibyte_char_tolerated(self, tmp_path):
+        # An append killed mid-write can cut a multi-byte UTF-8 character
+        # in half; a text-mode read dies on the decode before any line
+        # parsing, losing the whole store.  The torn tail must be dropped
+        # like any other truncated final line.
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), make_record(BASELINE))
+        torn = '{"format": "repro-bench-history/1", "note": "café"}\n'
+        encoded = torn.encode("utf-8")
+        cut = encoded.rindex(b"\xc3\xa9") + 1  # stop mid-é
+        with open(path, "ab") as handle:
+            handle.write(encoded[:cut])
+        loaded = load_history(str(path))
+        assert len(loaded) == 1
+        assert loaded[0]["solved"] == make_record(BASELINE)["solved"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        # A bad line *before* intact records means the store is damaged,
+        # not merely unfinished — that must stay loud.
+        import json as json_mod
+
+        import pytest
+
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), make_record(BASELINE))
+        with open(path, "a") as handle:
+            handle.write('{"format": "repro-bench-history/1", "sol\n')
+        append_history(str(path), make_record(BASELINE))
+        with pytest.raises(json_mod.JSONDecodeError):
+            load_history(str(path))
+
 
 class TestCompare:
     def test_no_history_passes_with_note(self):
@@ -133,6 +164,31 @@ class TestCompare:
         assert comparison.wall_growth is not None
         assert comparison.wall_growth > 0.15
         assert "median wall growth" in comparison.regressions[0]
+
+    def test_top_growers_reported_even_on_pass(self):
+        # Satellite: a passing-but-drifting run still names its top-3
+        # per-problem wall growers, so drift stays visible before it gates.
+        history = [make_record(BASELINE)]
+        slightly = make_record(
+            {"max2": 0.105, "sum3": 0.225, "ite4": 0.41}
+        )
+        comparison = compare(slightly, history)
+        assert comparison.ok
+        assert [g[0] for g in comparison.top_growers] == [
+            "sum3", "ite4", "max2",
+        ]
+        rendered = comparison.render()
+        assert "per-problem wall growth (top 3)" in rendered
+        assert "sum3 +0.025s" in rendered
+
+    def test_top_growers_capped_at_three(self):
+        baseline = {"p1": 0.1, "p2": 0.1, "p3": 0.1, "p4": 0.1}
+        history = [make_record(baseline)]
+        current = make_record(
+            {"p1": 0.12, "p2": 0.16, "p3": 0.14, "p4": 0.18}
+        )
+        comparison = compare(current, history)
+        assert [g[0] for g in comparison.top_growers] == ["p4", "p2", "p3"]
 
     def test_wall_growth_within_budget_passes(self):
         history = [make_record(BASELINE)]

@@ -565,3 +565,129 @@ class TestBenchCompareCli:
                      "--against", str(tmp_path / "history.jsonl")])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def two_span_dumps(tmp_path_factory):
+    """Two span dumps of the same real problem (for diff/history CLIs)."""
+    directory = tmp_path_factory.mktemp("dumps")
+    path = directory / "max2.sl"
+    path.write_text(MAX2_SL)
+    dumps = []
+    for label in ("a", "b"):
+        dump = directory / f"run_{label}.jsonl"
+        assert main([str(path), "--timeout", "5",
+                     "--spans-out", str(dump)]) == 0
+        dumps.append(str(dump))
+    return dumps
+
+
+class TestDiffCli:
+    def test_diff_of_two_real_runs(self, two_span_dumps, capsys):
+        run_a, run_b = two_span_dumps
+        capsys.readouterr()
+        assert main(["diff", run_a, run_b]) == 0
+        out = capsys.readouterr().out
+        assert "run diff:" in out
+        assert "top node movers" in out
+        assert "attribution check" in out
+
+    def test_diff_json_partitions_exactly(self, two_span_dumps, capsys):
+        import json
+
+        run_a, run_b = two_span_dumps
+        capsys.readouterr()
+        assert main(["diff", run_a, run_b, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-run-diff/1"
+        assert payload["attributed_delta"] == pytest.approx(
+            payload["total_delta"], abs=1e-6  # both rounded to 6 places
+        )
+
+    def test_missing_file_errors(self, two_span_dumps, capsys):
+        assert main(["diff", two_span_dumps[0], "/nope.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestHistoryCli:
+    def test_from_spans_append_then_query(self, two_span_dumps, tmp_path,
+                                          capsys):
+        store = str(tmp_path / "analytics.jsonl")
+        for dump in two_span_dumps:
+            assert main(["history", "--store", store,
+                         "--from-spans", dump, "--append"]) == 0
+        out = capsys.readouterr().out
+        assert "2 run record(s)" in out  # store-wide summary after append
+        # Recover a real node id from the store and query it.
+        from repro.bench.analytics import load_analytics
+
+        node_id = next(iter(load_analytics(store)[0]["nodes"]))
+        assert main(["history", node_id, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 2" in out
+
+    def test_unknown_node_exits_one(self, tmp_path, capsys):
+        store = str(tmp_path / "analytics.jsonl")
+        assert main(["history", "feedfeedfeed", "--store", store]) == 1
+        assert "no analytics records" in capsys.readouterr().out
+
+    def test_empty_store_summary(self, tmp_path, capsys):
+        assert main(["history", "--store",
+                     str(tmp_path / "absent.jsonl")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestBenchCompareExplain:
+    _write_artifacts = TestBenchCompareCli._write_artifacts
+
+    def test_forced_regression_names_the_slower_problems(self, tmp_path,
+                                                         capsys):
+        """Acceptance: a forced wall regression makes --explain name the
+        genuinely-slower problems (and only those)."""
+        history = tmp_path / "history.jsonl"
+        fast = self._write_artifacts(
+            tmp_path / "fast", {"max2": 0.1, "sum3": 0.2, "ite4": 0.3}
+        )
+        assert main(["bench-compare", "--from-dir", str(fast),
+                     "--against", str(history), "--append"]) == 0
+        capsys.readouterr()
+        # Only sum3 and ite4 regress; max2 holds steady.
+        slow = self._write_artifacts(
+            tmp_path / "slow", {"max2": 0.1, "sum3": 0.5, "ite4": 0.6}
+        )
+        assert main(["bench-compare", "--from-dir", str(slow),
+                     "--against", str(history), "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "regression attribution:" in out
+        assert "sum3: 0.200s -> 0.500s" in out
+        assert "ite4: 0.300s -> 0.600s" in out
+        assert "max2:" not in out.split("regression attribution:")[1]
+        # No span dump in the artifacts dir: the drill-down says how to
+        # get one instead of failing.
+        assert "no span dump available" in out
+
+    def test_explain_silent_on_pass(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        good = self._write_artifacts(tmp_path / "good", {"max2": 0.1})
+        assert main(["bench-compare", "--from-dir", str(good),
+                     "--against", str(history), "--append",
+                     "--explain"]) == 0
+        assert main(["bench-compare", "--from-dir", str(good),
+                     "--against", str(history), "--explain"]) == 0
+        assert "regression attribution" not in capsys.readouterr().out
+
+    def test_solved_set_loss_attributed(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        good = self._write_artifacts(
+            tmp_path / "good", {"max2": 0.1, "sum3": 0.2}
+        )
+        assert main(["bench-compare", "--from-dir", str(good),
+                     "--against", str(history), "--append"]) == 0
+        bad = self._write_artifacts(
+            tmp_path / "bad", {"max2": 0.1, "sum3": None}
+        )
+        capsys.readouterr()
+        assert main(["bench-compare", "--from-dir", str(bad),
+                     "--against", str(history), "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "solved-set loss (1): sum3" in out
