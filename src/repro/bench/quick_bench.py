@@ -50,6 +50,7 @@ def run_quick_bench(
     timeout: float = 2.0,
     telemetry: bool = False,
     smt_corpus: str = None,
+    sample: bool = False,
 ) -> Dict:
     """Run the demo subset; returns ``{"records": [...], "summary": {...}}``.
 
@@ -57,16 +58,41 @@ def run_quick_bench(
     is returned as ``"recorder"`` so callers can export spans/metrics.
     With ``smt_corpus`` every SMT query is captured into one
     ``<benchmark>.smtq.jsonl`` per problem in that directory (replay with
-    ``dryadsynth smt-replay``).
+    ``dryadsynth smt-replay``).  With ``sample`` (implies telemetry) a
+    wall-clock stack sampler runs over the whole pass; the profile is
+    attached to the recorder (so span dumps carry it) and returned as
+    ``"profile"``, and the summary gains a ``rusage`` block either way.
     """
-    if telemetry:
+    from repro.obs import rusage
+
+    usage_before = rusage.snapshot()
+    if telemetry or sample:
         from repro import obs
+        from repro.obs.sampler import StackSampler
 
         with obs.recording() as recorder:
-            result = _run_quick_bench_impl(solver_name, timeout, smt_corpus)
+            sampler = None
+            if sample:
+                sampler = StackSampler(recorder=recorder).start()
+            try:
+                result = _run_quick_bench_impl(
+                    solver_name, timeout, smt_corpus
+                )
+            finally:
+                if sampler is not None:
+                    sampler.stop()
+        if sampler is not None:
+            recorder.profile = sampler.profile
+            result["profile"] = sampler.profile
+            recorder.metrics.counter("obs.stack_samples").inc(
+                sampler.profile.samples
+            )
         result["recorder"] = recorder
+        result["summary"]["rusage"] = rusage.delta(usage_before)
         return result
-    return _run_quick_bench_impl(solver_name, timeout, smt_corpus)
+    result = _run_quick_bench_impl(solver_name, timeout, smt_corpus)
+    result["summary"]["rusage"] = rusage.delta(usage_before)
+    return result
 
 
 def _run_quick_bench_impl(
@@ -169,6 +195,19 @@ def main(argv=None) -> int:
         "problem in DIR (replay with `dryadsynth smt-replay DIR`)",
     )
     parser.add_argument(
+        "--sample",
+        action="store_true",
+        help="run a wall-clock stack sampler over the whole pass (implies "
+        "--telemetry; render with `dryadsynth flame`)",
+    )
+    parser.add_argument(
+        "--collapsed-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled profile as FlameGraph/speedscope "
+        "collapsed-stack text to PATH (implies --sample)",
+    )
+    parser.add_argument(
         "--min-solved",
         type=int,
         default=None,
@@ -195,17 +234,20 @@ def main(argv=None) -> int:
 
 
 def _main_impl(args) -> int:
+    sample = bool(args.sample or args.collapsed_out)
     telemetry = bool(
         args.telemetry
         or args.metrics_out
         or args.spans_out
         or args.analytics_out
+        or sample
     )
     result = run_quick_bench(
         args.solver,
         args.timeout,
         telemetry=telemetry,
         smt_corpus=args.smt_corpus,
+        sample=sample,
     )
     os.makedirs(args.out, exist_ok=True)
     jsonl_path = os.path.join(args.out, "quick_bench.jsonl")
@@ -252,6 +294,21 @@ def _main_impl(args) -> int:
             f"appended {len(record['nodes'])} node record(s) to "
             f"{args.analytics_out}"
         )
+    if args.collapsed_out:
+        from repro.obs.sampler import write_collapsed
+
+        profile = result.get("profile")
+        if profile is not None and profile.samples:
+            write_collapsed(profile, args.collapsed_out)
+            print(
+                f"wrote {args.collapsed_out} "
+                f"({profile.samples} stack samples)"
+            )
+        else:
+            print(
+                "warning: no stack samples collected; "
+                f"{args.collapsed_out} not written"
+            )
     if args.smt_corpus:
         print(f"wrote SMT query corpus into {args.smt_corpus}/")
     if args.min_solved is not None and summary["solved"] < args.min_solved:

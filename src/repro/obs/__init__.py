@@ -184,4 +184,22 @@ def merge_job_telemetry(
         parent_id=parent_id,
     )
     recorder.metrics.merge(telemetry.get("metrics"))
+    # Sampled stack profiles merge by collapsed-stack key, exactly like
+    # metric snapshots; per-job rusage lands as fleet-wide gauges/counters.
+    recorder.merge_profile(telemetry.get("profile"))
+    rusage = telemetry.get("rusage")
+    if rusage:
+        peak = rusage.get("peak_rss_bytes")
+        if peak:
+            recorder.metrics.gauge("process.peak_rss_bytes").set_max(
+                float(peak)
+            )
+        if rusage.get("user_cpu"):
+            recorder.metrics.counter("process.user_cpu_seconds").inc(
+                rusage["user_cpu"]
+            )
+        if rusage.get("sys_cpu"):
+            recorder.metrics.counter("process.sys_cpu_seconds").inc(
+                rusage["sys_cpu"]
+            )
     return root_id

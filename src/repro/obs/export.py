@@ -41,6 +41,11 @@ def dump_spans_jsonl(recorder: SpanRecorder, handle: TextIO) -> None:
         handle.write(json.dumps({"span": span.to_json()}) + "\n")
     for event in recorder.events:
         handle.write(json.dumps({"event": event.to_json()}) + "\n")
+    # The sampled stack profile (when a sampler ran) rides in the same dump
+    # as its own record kind; older readers skip unknown kinds.
+    profile = getattr(recorder, "profile", None)
+    if profile is not None:
+        handle.write(json.dumps({"profile": profile.to_json()}) + "\n")
 
 
 def read_jsonl_tolerant(path: str) -> List[Dict]:
@@ -99,8 +104,26 @@ def write_metrics_text(registry: MetricsRegistry, path: str) -> None:
         handle.write(registry.to_prometheus())
 
 
-def telemetry_payload(recorder: Optional[SpanRecorder]) -> Optional[Dict]:
-    """The worker-to-parent wire payload stored in ``JobResult.telemetry``."""
+def telemetry_payload(
+    recorder: Optional[SpanRecorder],
+    profile=None,
+    rusage: Optional[Dict] = None,
+) -> Optional[Dict]:
+    """The worker-to-parent wire payload stored in ``JobResult.telemetry``.
+
+    ``profile`` (a :class:`~repro.obs.sampler.StackProfile`) and ``rusage``
+    (a :func:`repro.obs.rusage.delta` dict) ride along when the job sampled
+    stacks / accounted resources; the parent folds them into its own
+    recorder and registry exactly like the span tree and metric snapshot.
+    """
     if recorder is None:
         return None
-    return {"spans": recorder.to_json(), "metrics": recorder.metrics.snapshot()}
+    payload = {
+        "spans": recorder.to_json(),
+        "metrics": recorder.metrics.snapshot(),
+    }
+    if profile is not None:
+        payload["profile"] = profile.to_json()
+    if rusage:
+        payload["rusage"] = dict(rusage)
+    return payload

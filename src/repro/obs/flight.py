@@ -137,23 +137,44 @@ class FlightRecorder:
 # ---------------------------------------------------------------------------
 
 
+def append_kill_record(path: str, **info) -> None:
+    """Append a parent-authored ``{"kill": ...}`` record to a dead journal.
+
+    The worker is dead by the time its parent knows *why* (deadline overrun,
+    RSS-budget kill, a signal of the worker's own making), so the cause is
+    appended by the parent instead.  The record is newline-*prefixed*: the
+    worker may have died mid-write, and gluing onto its torn half-line would
+    corrupt both records.  Best-effort — a failing append never takes the
+    scheduler down.
+    """
+    record = {"kill": {**info, "ts": round(time.time(), 3)}}
+    try:
+        with open(path, "a") as handle:
+            handle.write("\n" + json.dumps(record) + "\n")
+            handle.flush()
+    except OSError:
+        pass
+
+
 def read_flight_journal(path: str) -> Dict:
     """Parse a journal tolerantly; returns header + record lists.
 
     A truncated final line (the writer died mid-write) is expected and
-    dropped; so are blank lines.  Corrupt *interior* lines are counted in
-    ``"corrupt"`` rather than raised — a post-mortem reader salvages what it
-    can, because the alternative is losing the whole journal to one torn
-    byte.
+    dropped — including one torn mid-multibyte-character, which is why the
+    read is binary; so are blank lines.  Corrupt *interior* lines are
+    counted in ``"corrupt"`` rather than raised — a post-mortem reader
+    salvages what it can, because the alternative is losing the whole
+    journal to one torn byte.
     """
     header: Dict = {}
     notes: List[Dict] = []
     spans: List[Dict] = []
     events: List[Dict] = []
+    kill: Optional[Dict] = None
     corrupt = 0
     truncated = False
-    with open(path) as handle:
-        lines = handle.read().split("\n")
+    with open(path, "rb") as handle:
+        lines = handle.read().split(b"\n")
     last = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
     for index, line in enumerate(lines):
         line = line.strip()
@@ -161,7 +182,7 @@ def read_flight_journal(path: str) -> Dict:
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError:
+        except (json.JSONDecodeError, UnicodeDecodeError):
             if index == last:
                 truncated = True
             else:
@@ -173,6 +194,8 @@ def read_flight_journal(path: str) -> Dict:
             spans.append(record["span"])
         elif "event" in record:
             events.append(record["event"])
+        elif "kill" in record:
+            kill = record["kill"]
         elif record.get("format") == FLIGHT_FORMAT:
             header = record
     return {
@@ -180,6 +203,7 @@ def read_flight_journal(path: str) -> Dict:
         "notes": notes,
         "spans": spans,
         "events": events,
+        "kill": kill,
         "corrupt": corrupt,
         "truncated": truncated,
     }
@@ -271,6 +295,7 @@ def read_postmortem(path: str, tail: int = 25) -> Optional[Dict]:
         "journal": path,
         "pid": journal["header"].get("pid"),
         "meta": journal["header"].get("meta", {}),
+        "kill": journal.get("kill"),
         "notes": journal["notes"],
         "num_spans": len(spans),
         "num_events": len(events),
@@ -294,6 +319,29 @@ def render_postmortem(postmortem: Dict) -> str:
         lines.append(f"  job: {rendered}")
     if postmortem.get("pid"):
         lines.append(f"  worker pid: {postmortem['pid']}")
+    kill = postmortem.get("kill")
+    if kill:
+        cause = kill.get("cause", "crash")
+        if cause == "deadline":
+            headline = "hard deadline exceeded; parent terminated worker"
+        elif cause == "oom_budget":
+            headline = "RSS budget exceeded; parent terminated worker"
+        else:
+            headline = "worker died on its own"
+        detail = []
+        if kill.get("signal"):
+            detail.append(f"signal={kill['signal']}")
+        if kill.get("exitcode") is not None:
+            detail.append(f"exitcode={kill['exitcode']}")
+        if kill.get("last_rss_bytes"):
+            rss_mb = kill["last_rss_bytes"] / (1024 * 1024)
+            detail.append(f"last_rss={rss_mb:.1f}MB")
+        lines.append(
+            f"  killed ({cause}): {headline}"
+            + (f" [{' '.join(detail)}]" if detail else "")
+        )
+        if kill.get("reason"):
+            lines.append(f"    reason: {kill['reason']}")
     flags = []
     if postmortem.get("truncated"):
         flags.append("final line torn (writer died mid-write)")

@@ -44,12 +44,20 @@ METRIC_HELP: Dict[str, str] = {
     "cache.misses": "result-cache misses",
     "cache.evictions": "result-cache evictions",
     "obs.spans_dropped": "telemetry spans/events dropped at the recorder cap",
+    "obs.stack_samples": "wall-clock stack samples taken by the profiler",
+    "process.peak_rss_bytes": "peak resident set size (getrusage high-water)",
+    "process.user_cpu_seconds": "user-mode CPU time accumulated by jobs",
+    "process.sys_cpu_seconds": "kernel-mode CPU time accumulated by jobs",
     "pool.jobs_completed": "worker-pool job completions",
     "pool.jobs_running": "jobs currently assigned to a worker",
     "pool.jobs_queued": "jobs admitted but not yet assigned",
     "pool.workers_alive": "live worker processes",
     "pool.queue_wait_seconds": "submission-to-assignment latency",
     "pool.postmortems_recovered": "flight-recorder post-mortems recovered",
+    "pool.peak_rss_bytes": "largest worker RSS the scheduler has observed",
+    "pool.children_peak_rss_bytes":
+        "getrusage(RUSAGE_CHILDREN) high-water — cross-checks worker peaks",
+    "pool.oom_budget_kills": "workers terminated for exceeding --max-rss-mb",
 }
 
 

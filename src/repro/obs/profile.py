@@ -40,12 +40,56 @@ class ProfileReport:
     total_wall: float  # sum of root span walls = the traced wall clock
     total_spans: int
     roots: int
+    #: Per-process dark time (see :func:`compute_dark_time`), appended with
+    #: a default so positional constructions elsewhere keep working.
+    dark: List[Dict] = field(default_factory=list)
 
     def phase(self, name: str) -> Optional[PhaseRow]:
         for row in self.phases:
             if row.name == name:
                 return row
         return None
+
+
+def compute_dark_time(spans: Sequence[Span]) -> List[Dict]:
+    """Wall time inside each process's trace window but outside any root span.
+
+    For every pid the window runs from its earliest span start to its
+    latest span end; "dark" is the part of that window not covered by the
+    union of the pid's *root*-span intervals — time the process spent where
+    no instrumented region was open (imports, serialization, scheduler
+    glue).  Computed purely from spans, so it works with the sampler off;
+    sampled dark *frames* (when available) then say what ran there.
+    """
+    by_id = {span.span_id: span for span in spans}
+    by_pid: Dict[int, List[Span]] = {}
+    for span in spans:
+        by_pid.setdefault(span.pid, []).append(span)
+    out: List[Dict] = []
+    for pid in sorted(by_pid):
+        group = by_pid[pid]
+        window_start = min(s.start for s in group)
+        window_end = max(s.start + s.wall for s in group)
+        intervals = sorted(
+            (s.start, s.start + s.wall)
+            for s in group
+            if s.parent_id is None or s.parent_id not in by_id
+        )
+        covered = 0.0
+        cursor = window_start
+        for lo, hi in intervals:
+            lo = max(lo, cursor)
+            if hi > lo:
+                covered += hi - lo
+                cursor = hi
+        window = window_end - window_start
+        out.append({
+            "pid": pid,
+            "window": round(window, 6),
+            "covered": round(covered, 6),
+            "dark": round(max(0.0, window - covered), 6),
+        })
+    return out
 
 
 def build_profile(spans: Sequence[Span]) -> ProfileReport:
@@ -86,7 +130,8 @@ def build_profile(spans: Sequence[Span]) -> ProfileReport:
             roots += 1
             total_wall += span.wall
     phases = sorted(rows.values(), key=lambda r: r.self_wall, reverse=True)
-    return ProfileReport(phases, total_wall, len(spans), roots)
+    return ProfileReport(phases, total_wall, len(spans), roots,
+                         dark=compute_dark_time(spans))
 
 
 def render_profile(report: ProfileReport) -> str:
@@ -113,6 +158,14 @@ def render_profile(report: ProfileReport) -> str:
         f"{'(total self)':<18} {'':>7} {self_total:>9.3f} "
         f"{100 * self_total / total:>5.1f}%"
     )
+    for entry in report.dark:
+        window = entry.get("window") or 0.0
+        dark = entry.get("dark") or 0.0
+        pct = 100 * dark / window if window > 0 else 0.0
+        lines.append(
+            f"dark time (pid {entry.get('pid', '?')}): {dark:.3f}s "
+            f"of {window:.3f}s window ({pct:.1f}%) outside any root span"
+        )
     return "\n".join(lines)
 
 
@@ -143,7 +196,34 @@ def render_hottest(spans: Sequence[Span], top: int = 10,
     return "\n".join(lines)
 
 
-def profile_text(spans: Sequence[Span], top: int = 10) -> str:
-    """The full ``dryadsynth profile`` report for a span stream."""
+def render_dark_frames(profile, top: int = 10) -> str:
+    """The sampled-stack reconciliation for the report's dark-time lines.
+
+    ``profile`` is a :class:`~repro.obs.sampler.StackProfile`; its samples
+    taken while no span was open name what actually ran during dark time.
+    """
+    frames = profile.dark_frames(top)
+    if not frames:
+        return "no dark samples (every sample landed inside an open span)"
+    dark_total = sum(profile.dark.values())
+    lines = [
+        f"hottest dark frames ({dark_total} of {profile.samples} "
+        "samples outside any span):"
+    ]
+    for rank, (frame, count) in enumerate(frames, 1):
+        lines.append(f"{rank:>3}. {count:>6} samples  {frame}")
+    return "\n".join(lines)
+
+
+def profile_text(spans: Sequence[Span], top: int = 10, profile=None) -> str:
+    """The full ``dryadsynth profile`` report for a span stream.
+
+    ``profile`` (a sampled :class:`~repro.obs.sampler.StackProfile`, when
+    the dump carries one) adds the "hottest dark frames" section naming
+    what ran outside every span.
+    """
     report = build_profile(spans)
-    return render_profile(report) + "\n\n" + render_hottest(spans, top)
+    text = render_profile(report) + "\n\n" + render_hottest(spans, top)
+    if profile is not None and profile.samples:
+        text += "\n\n" + render_dark_frames(profile, top)
+    return text

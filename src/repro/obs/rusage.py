@@ -1,0 +1,98 @@
+"""Per-process resource accounting: peak RSS and user/sys CPU.
+
+Two complementary vantage points, mirroring how the pool watches workers:
+
+- **Inside a process** — :func:`snapshot` / :func:`delta` wrap
+  ``resource.getrusage(RUSAGE_SELF)``: peak RSS (``ru_maxrss``, normalized
+  to bytes — Linux reports KiB, macOS bytes) and user/sys CPU seconds.
+  ``ru_maxrss`` is a high-water mark, not a counter, so a delta reports
+  the *absolute* peak alongside the CPU-time differences.
+- **From the parent** — :func:`process_rss_bytes` reads another process's
+  *current* RSS from ``/proc/<pid>/statm`` (the poll the pool's
+  ``max_rss_mb`` budget enforcement runs alongside its deadline checks),
+  and :func:`children_peak_rss_bytes` reads ``RUSAGE_CHILDREN`` as the
+  kernel-side cross-check on what reaped workers peaked at.
+
+Everything degrades gracefully off-Linux: missing ``/proc`` or a missing
+``resource`` module yields ``None``/zeros, never an exception, so the
+telemetry layer stays optional on every platform.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Optional
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+def _maxrss_bytes(ru) -> int:
+    """Normalize ``ru_maxrss`` to bytes (KiB on Linux, bytes on macOS)."""
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(ru.ru_maxrss) * scale
+
+
+def snapshot(children: bool = False) -> Dict[str, float]:
+    """Current rusage: peak RSS bytes plus cumulative user/sys CPU seconds."""
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return {"peak_rss_bytes": 0, "user_cpu": 0.0, "sys_cpu": 0.0}
+    who = _resource.RUSAGE_CHILDREN if children else _resource.RUSAGE_SELF
+    ru = _resource.getrusage(who)
+    return {
+        "peak_rss_bytes": _maxrss_bytes(ru),
+        "user_cpu": ru.ru_utime,
+        "sys_cpu": ru.ru_stime,
+    }
+
+
+def delta(before: Dict[str, float]) -> Dict[str, float]:
+    """Per-job usage since ``before`` (a :func:`snapshot`).
+
+    CPU times are true deltas; ``peak_rss_bytes`` is the process high-water
+    mark at the end of the window (the kernel offers no resettable peak),
+    which for a warm worker is "the largest this worker has ever been" —
+    still the number a memory budget cares about.
+    """
+    after = snapshot()
+    return {
+        "peak_rss_bytes": after["peak_rss_bytes"],
+        "user_cpu": round(max(0.0, after["user_cpu"] - before["user_cpu"]), 6),
+        "sys_cpu": round(max(0.0, after["sys_cpu"] - before["sys_cpu"]), 6),
+    }
+
+
+def self_peak_rss_bytes() -> int:
+    """This process's lifetime peak RSS in bytes."""
+    return int(snapshot()["peak_rss_bytes"])
+
+
+def children_peak_rss_bytes() -> int:
+    """Peak RSS across *reaped* child processes (``RUSAGE_CHILDREN``)."""
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    return _maxrss_bytes(_resource.getrusage(_resource.RUSAGE_CHILDREN))
+
+
+def process_rss_bytes(pid: Optional[int] = None) -> Optional[int]:
+    """A process's *current* resident set size, from ``/proc/<pid>/statm``.
+
+    Returns ``None`` when the process is gone or ``/proc`` is unavailable
+    (non-Linux); callers treat an unreadable RSS as "cannot enforce", never
+    as zero.
+    """
+    target = pid if pid is not None else os.getpid()
+    try:
+        with open(f"/proc/{target}/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return None

@@ -82,6 +82,9 @@ class ServeSettings:
         history_cap: int = 4096,
         slo: Optional[SloPolicy] = None,
         recent_cap: int = 32,
+        max_rss_mb: Optional[float] = None,
+        leak_window: int = 16,
+        leak_slope_mb: float = 8.0,
     ) -> None:
         self.workers = max(1, workers)
         self.solver = solver
@@ -106,6 +109,15 @@ class ServeSettings:
         #: Terminal jobs surfaced in the ``/v1/stats`` ``recent`` block —
         #: the trace-id lookup surface for operators.
         self.recent_cap = max(4, recent_cap)
+        #: Per-worker soft RSS budget (MiB) forwarded to the pool; a worker
+        #: over budget is killed and its job completes as ``oom_budget``.
+        self.max_rss_mb = max_rss_mb
+        #: Leak watch: daemon RSS is sampled once per completed request into
+        #: a ring of this many points; when the least-squares slope over the
+        #: full ring exceeds ``leak_slope_mb`` MiB *per request*, ``/healthz``
+        #: reports the ``rss_leak`` condition as tripped (degraded).
+        self.leak_window = max(4, leak_window)
+        self.leak_slope_mb = leak_slope_mb
 
 
 class ServeJob:
@@ -239,7 +251,11 @@ class SynthesisDaemon:
             # ``serve.request`` span in _finish; letting the pool merge too
             # would duplicate every span.
             merge_telemetry=False,
+            max_rss_mb=self.settings.max_rss_mb,
         )
+        #: Leak watch ring: ``(completed_count, daemon_rss_bytes)`` samples,
+        #: one per finished request (see :meth:`_leak_slope`).
+        self._rss_samples: deque = deque(maxlen=self.settings.leak_window)
         #: Streaming latency sketches + SLO burn accounting (daemon-owned,
         #: always on; guarded by ``self._lock``).
         self.slo = SloTracker(self.settings.slo)
@@ -497,13 +513,16 @@ class SynthesisDaemon:
                 serve_job.pool_job_id = job.job_id
 
     def _on_pool_complete(self, serve_job: ServeJob, result: JobResult) -> None:
+        # Finish (and persist) BEFORE releasing the in-flight slot: the
+        # drain path closes the results journal the moment inflight hits
+        # zero, and "drained" promises every accepted job was persisted.
+        self._finish(serve_job, result)
         with self._work:
             self._inflight -= 1
             if result.wall_time:
                 self._recent_walls.append(result.wall_time)
                 del self._recent_walls[:-64]
             self._work.notify_all()
-        self._finish(serve_job, result)
 
     def _finish(self, serve_job: ServeJob, result: JobResult) -> None:
         serve_job.result = _result_view(result)
@@ -514,12 +533,17 @@ class SynthesisDaemon:
                                from_cache=bool(result.from_cache),
                                trace_id=serve_job.trace_id)
         registry = obs.metrics()
+        from repro.obs import rusage
+
+        rss = rusage.process_rss_bytes()
         with self._lock:
             self.completed += 1
             self.slo.observe(latency, serve_job.client, serve_job.priority,
                              time.monotonic(), registry=registry)
             self._remember_locked(serve_job, status=result.status,
                                   state=protocol.DONE)
+            if rss is not None:
+                self._rss_samples.append((self.completed, rss))
         registry.counter("serve.jobs_completed").inc()
         registry.counter(f"serve.status.{result.status}").inc()
         if serve_job.latency is not None:
@@ -646,7 +670,48 @@ class SynthesisDaemon:
                 "evictions": cache.evictions,
                 "hit_rate": _rate(cache.hits, cache.misses),
             }
+        payload["memory"] = self.memory_stats()
         return payload
+
+    def memory_stats(self) -> Dict:
+        """The ``/v1/stats`` memory block: daemon/worker RSS + leak trend."""
+        from repro.obs import rusage
+
+        registry = obs.metrics()
+        slope = self._leak_slope()
+        with self._lock:
+            window = len(self._rss_samples)
+        return {
+            "daemon_rss_bytes": rusage.process_rss_bytes(),
+            "daemon_peak_rss_bytes": rusage.self_peak_rss_bytes(),
+            "children_peak_rss_bytes": rusage.children_peak_rss_bytes(),
+            "pool_peak_rss_bytes":
+                registry.gauge("pool.peak_rss_bytes").value or None,
+            "max_rss_mb": self.settings.max_rss_mb,
+            "leak_slope_bytes_per_request":
+                round(slope, 1) if slope is not None else None,
+            "leak_window": window,
+        }
+
+    def _leak_slope(self) -> Optional[float]:
+        """Least-squares RSS slope (bytes per completed request).
+
+        Computed over the leak-watch ring; ``None`` until the ring is full —
+        a short-lived spike should not trip the condition, only a trend
+        sustained across the whole window.
+        """
+        with self._lock:
+            samples = list(self._rss_samples)
+        if len(samples) < self.settings.leak_window:
+            return None
+        n = len(samples)
+        mean_x = sum(x for x, _ in samples) / n
+        mean_y = sum(y for _, y in samples) / n
+        var = sum((x - mean_x) ** 2 for x, _ in samples)
+        if var == 0:
+            return 0.0
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in samples)
+        return cov / var
 
     def health(self) -> Dict:
         """``/healthz`` provider: degraded on dead workers or saturation.
@@ -678,6 +743,15 @@ class SynthesisDaemon:
                 "state": state,
             },
         }
+        slope = self._leak_slope()
+        slope_limit = self.settings.leak_slope_mb * 1024 * 1024
+        conditions["rss_leak"] = {
+            "tripped": slope is not None and slope > slope_limit,
+            "slope_bytes_per_request":
+                round(slope, 1) if slope is not None else None,
+            "slope_limit_bytes_per_request": slope_limit,
+            "window": self.settings.leak_window,
+        }
         reasons = []
         if conditions["dead_workers"]["tripped"]:
             reasons.append(
@@ -689,6 +763,12 @@ class SynthesisDaemon:
             )
         if conditions["draining"]["tripped"]:
             reasons.append(f"not admitting: {state}")
+        if conditions["rss_leak"]["tripped"]:
+            reasons.append(
+                "rss leak: daemon RSS growing "
+                f"{(slope or 0.0) / (1024 * 1024):.1f}MB/request over the "
+                f"last {self.settings.leak_window} requests"
+            )
         payload = {
             "status": "ok" if not reasons else "degraded",
             "state": state,

@@ -53,11 +53,36 @@ def _bar(value: float, width: int = 20) -> str:
     return "#" * filled + "." * (width - filled)
 
 
-def _fmt_latency(block: Dict) -> str:
+def _num(value, default: float = 0.0) -> float:
+    """A numeric field that tolerates missing/None/garbage values."""
+    return value if isinstance(value, (int, float)) else default
+
+
+def _fmt(value, spec: str = "") -> str:
+    """Format a possibly-missing value; ``None``/non-numeric render as ``-``.
+
+    A stripped or older daemon may omit any key (or send an explicit null);
+    the dashboard's contract is to render ``-`` there, never to crash.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return "-"
+    return format(value, spec)
+
+
+def _fmt_mb(value) -> str:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return "-"
+    return f"{value / (1024 * 1024):.0f}MB"
+
+
+def _fmt_latency(block: Optional[Dict]) -> str:
+    block = block or {}
     return (
-        f"p50={block.get('p50', 0):>8.4f}  p90={block.get('p90', 0):>8.4f}  "
-        f"p95={block.get('p95', 0):>8.4f}  p99={block.get('p99', 0):>8.4f}  "
-        f"n={block.get('count', 0)}"
+        f"p50={_fmt(block.get('p50'), '>8.4f'):>8}  "
+        f"p90={_fmt(block.get('p90'), '>8.4f'):>8}  "
+        f"p95={_fmt(block.get('p95'), '>8.4f'):>8}  "
+        f"p99={_fmt(block.get('p99'), '>8.4f'):>8}  "
+        f"n={_fmt(block.get('count'))}"
     )
 
 
@@ -84,18 +109,18 @@ def render_dashboard(
         lines.append(paint("daemon unreachable", RED))
         return "\n".join(lines) + "\n"
 
-    status = (health or {}).get("status", "unknown")
+    status = (health or {}).get("status") or "unknown"
     status_text = paint(
         status.upper(), GREEN if status == "ok" else RED
     )
     lines.append(
         f"state={stats.get('state', '?')}  health={status_text}  "
-        f"uptime={stats.get('uptime_seconds', 0):.0f}s"
+        f"uptime={_fmt(stats.get('uptime_seconds'), '.0f')}s"
     )
     for condition, detail in sorted(
         ((health or {}).get("conditions") or {}).items()
     ):
-        if detail.get("tripped"):
+        if isinstance(detail, dict) and detail.get("tripped"):
             extras = {k: v for k, v in detail.items() if k != "tripped"}
             lines.append(paint(f"  !! {condition}: {extras}", RED))
 
@@ -114,18 +139,30 @@ def render_dashboard(
         f"/{pool.get('workers', '?')}  "
         f"spawned={pool.get('workers_spawned', '?')}  "
         f"dispatched={pool.get('jobs_dispatched', '?')}  "
-        f"cache_hit_rate={cache.get('hit_rate', 0.0):.2f}  "
-        f"memo_hit_rate={memo.get('hit_rate', 0.0):.2f}"
+        f"cache_hit_rate={_fmt(cache.get('hit_rate'), '.2f')}  "
+        f"memo_hit_rate={_fmt(memo.get('hit_rate'), '.2f')}"
     )
+    memory = stats.get("memory")
+    if memory:
+        slope = memory.get("leak_slope_bytes_per_request")
+        budget_text = _fmt(memory.get("max_rss_mb"), "g")
+        lines.append(
+            f"memory    daemon={_fmt_mb(memory.get('daemon_rss_bytes'))}  "
+            f"peak={_fmt_mb(memory.get('daemon_peak_rss_bytes'))}  "
+            f"children_peak="
+            f"{_fmt_mb(memory.get('children_peak_rss_bytes'))}  "
+            f"budget={budget_text}MB  "
+            f"leak={_fmt_mb(slope)}/req"
+        )
 
     slo = stats.get("slo")
     if slo:
-        budget = slo.get("budget_remaining", 0.0)
+        budget = _num(slo.get("budget_remaining", 0.0))
         lines.append(
             f"slo       objective={slo.get('objective_seconds', 0)}s "
-            f"target={slo.get('target', 0) * 100:.0f}%  "
-            f"burn fast={slo.get('burn_rate_fast', 0):.2f} "
-            f"slow={slo.get('burn_rate_slow', 0):.2f}  "
+            f"target={_num(slo.get('target', 0)) * 100:.0f}%  "
+            f"burn fast={_fmt(slo.get('burn_rate_fast'), '.2f')} "
+            f"slow={_fmt(slo.get('burn_rate_slow'), '.2f')}  "
             f"violations={slo.get('violations', 0)}"
             f"/{slo.get('observed', 0)}"
         )

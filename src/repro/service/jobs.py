@@ -28,6 +28,10 @@ UNSOLVED = "unsolved"
 TIMEOUT = "timeout"
 CRASHED = "crashed"
 CANCELLED = "cancelled"
+#: The parent killed the worker for exceeding the pool's soft RSS budget
+#: (``WorkerPool(max_rss_mb=...)``).  Deliberately *not* terminal for the
+#: result cache: a different budget could complete the same fingerprint.
+OOM_BUDGET = "oom_budget"
 
 TERMINAL_STATUSES = (SOLVED, UNSOLVED, TIMEOUT)
 
@@ -56,6 +60,11 @@ class SynthesisJob:
     #: result's ``telemetry`` payload (see :mod:`repro.obs`).  Off by
     #: default; does not affect the job's fingerprint.
     telemetry: bool = False
+    #: Run a wall-clock stack sampler (:mod:`repro.obs.sampler`) inside the
+    #: worker for this job's duration; the collapsed-stack profile ships
+    #: back in ``telemetry`` and merges fleet-wide.  Fingerprint-neutral,
+    #: like ``telemetry``.
+    sample: bool = False
     #: Flight-recorder journal path (see :mod:`repro.obs.flight`): the
     #: worker mirrors its recent telemetry into this crash-resistant file so
     #: the parent can recover a post-mortem if it has to kill the worker.
@@ -145,6 +154,9 @@ class JobResult:
     #: what the worker was doing when it crashed or was terminated.  Only
     #: populated for jobs that had a failed attempt with a journal.
     postmortem: Optional[Dict] = None
+    #: Worker-side resource accounting (:func:`repro.obs.rusage.delta`):
+    #: ``peak_rss_bytes`` plus per-job ``user_cpu``/``sys_cpu`` seconds.
+    rusage: Optional[Dict] = None
 
     @property
     def solved(self) -> bool:
@@ -244,7 +256,10 @@ def _debug_solver_result(job: SynthesisJob, start: float) -> Optional[JobResult]
     - ``debug-raise`` — raise inside the worker (in-process crash);
     - ``debug-exit[@code]`` — ``os._exit`` (hard crash, as if OOM-killed);
     - ``debug-crash-once@path`` — hard-crash on the first attempt (marker
-      file absent), succeed on the retry.
+      file absent), succeed on the retry;
+    - ``debug-alloc@mb[:secs]`` — touch ``mb`` MiB of resident memory and
+      hold it for ``secs`` (default 15s) — the stub that exercises the
+      pool's ``max_rss_mb`` budget enforcement end to end.
     """
     name = job.solver
     if not name.startswith("debug-"):
@@ -285,6 +300,27 @@ def _debug_solver_result(job: SynthesisJob, start: float) -> Optional[JobResult]
             with open(arg, "w") as handle:
                 handle.write("attempt 1\n")
             os._exit(13)
+        return JobResult(
+            job.job_id, job.name, job.solver, UNSOLVED,
+            wall_time=time.monotonic() - start,
+        )
+    if head == "debug-alloc":
+        from repro import obs
+
+        mb_text, _, secs_text = arg.partition(":")
+        mb = int(mb_text)
+        hold = float(secs_text) if secs_text else 15.0
+        # Name a frontier node before ballooning, so an over-budget kill's
+        # postmortem can say what the "search" was touching (the same
+        # forensics record real solvers journal).
+        obs.event("graph.node", domain="forensics",
+                  node=f"alloc{mb:08x}", fun="debug_alloc", depth=0)
+        # bytearray zero-fills, so every page is touched and resident.
+        ballast = bytearray(mb * 1024 * 1024)
+        deadline = time.monotonic() + hold
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+        del ballast
         return JobResult(
             job.job_id, job.name, job.solver, UNSOLVED,
             wall_time=time.monotonic() - start,
@@ -363,19 +399,26 @@ def _execute_recorded(job: SynthesisJob, start: float, flight) -> JobResult:
     A flight recorder forces an in-worker span recorder even when the job
     did not request shipped telemetry: the journal needs the span stream,
     but the (potentially large) payload only rides back on
-    ``JobResult.telemetry`` when ``job.telemetry`` is set.
+    ``JobResult.telemetry`` when ``job.telemetry`` is set.  ``job.sample``
+    likewise forces the recorded path: the stack sampler classifies samples
+    against the recorder's open spans and its profile ships in the same
+    payload.
 
     With a recorder installed, execution runs under a ``worker.request``
     root span carrying the distributed-trace ids the daemon injected into
     ``job.params`` — debug solvers included, so traced service tests don't
     need a real solve.  The daemon re-roots this tree under its own
-    ``serve.request`` span on completion.
+    ``serve.request`` span on completion.  Every path records per-job
+    rusage (:mod:`repro.obs.rusage`) into ``result.rusage``.
     """
-    if not (job.telemetry or flight is not None):
+    from repro.obs import rusage as _rusage
+
+    usage_before = _rusage.snapshot()
+    if not (job.telemetry or job.sample or flight is not None):
         debug = _debug_solver_result(job, start)
-        if debug is not None:
-            return debug
-        return _execute_real_job(job, start)
+        result = debug if debug is not None else _execute_real_job(job, start)
+        result.rusage = _rusage.delta(usage_before)
+        return result
     from repro import obs
     from repro.obs.export import telemetry_payload
 
@@ -383,15 +426,42 @@ def _execute_recorded(job: SynthesisJob, start: float, flight) -> JobResult:
     with obs.recording() as recorder:
         if flight is not None:
             recorder.sink = flight
-        with recorder.span("worker.request", job_id=job.job_id or None,
-                           problem=job.name, solver=job.solver,
-                           **trace_attrs) as root:
-            debug = _debug_solver_result(job, start)
-            result = (debug if debug is not None
-                      else _execute_real_job(job, start))
-            root.set(job_status=result.status)
-    if job.telemetry:
-        result.telemetry = telemetry_payload(recorder)
+        sampler = None
+        if job.sample:
+            from repro.obs.sampler import StackSampler
+
+            sampler = StackSampler(recorder=recorder).start()
+        try:
+            with recorder.span("worker.request", job_id=job.job_id or None,
+                               problem=job.name, solver=job.solver,
+                               **trace_attrs) as root:
+                debug = _debug_solver_result(job, start)
+                result = (debug if debug is not None
+                          else _execute_real_job(job, start))
+                root.set(job_status=result.status)
+        finally:
+            if sampler is not None:
+                sampler.stop()
+        usage = _rusage.delta(usage_before)
+        result.rusage = usage
+        if usage["peak_rss_bytes"]:
+            recorder.metrics.gauge("process.peak_rss_bytes").set_max(
+                float(usage["peak_rss_bytes"])
+            )
+        if sampler is not None:
+            recorder.metrics.counter("obs.stack_samples").inc(
+                sampler.profile.samples
+            )
+    if job.telemetry or job.sample:
+        result.telemetry = telemetry_payload(
+            recorder,
+            profile=sampler.profile if sampler is not None else None,
+            rusage=usage,
+        )
+        if not job.telemetry:
+            # Sampling alone ships the profile and rusage, not the
+            # (potentially large) span stream the job never asked for.
+            result.telemetry.pop("spans", None)
     return result
 
 

@@ -48,6 +48,7 @@ logger = logging.getLogger(__name__)
 from repro.service.jobs import (
     CANCELLED,
     CRASHED,
+    OOM_BUDGET,
     SOLVED,
     TIMEOUT,
     JobResult,
@@ -97,7 +98,7 @@ class _Worker:
     """One worker process plus its parent-side pipe end and assignment."""
 
     __slots__ = ("process", "conn", "slot", "assigned_at", "deadline",
-                 "jobs_done")
+                 "jobs_done", "last_rss")
 
     def __init__(self, ctx) -> None:
         parent_conn, child_conn = ctx.Pipe()
@@ -111,6 +112,10 @@ class _Worker:
         #: Jobs this process has executed — the warm-reuse evidence the
         #: daemon's ``/v1/stats`` reports (spawns ≪ jobs when reuse works).
         self.jobs_done = 0
+        #: Latest parent-side RSS reading (bytes) from the scheduler's
+        #: resource poll; feeds the per-worker gauges, ``/v1/stats`` and
+        #: the kill-cause record an over-budget termination journals.
+        self.last_rss: Optional[int] = None
 
     @property
     def busy(self) -> bool:
@@ -211,12 +216,22 @@ class WorkerPool:
         live_cap: int = DEFAULT_LIVE_CAP,
         live_ttl: Optional[float] = None,
         merge_telemetry: bool = True,
+        max_rss_mb: Optional[float] = None,
+        rss_poll_interval: float = 0.25,
     ) -> None:
         self.size = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.max_retries = max(0, max_retries)
         self.queue_size = queue_size if queue_size is not None else 2 * self.size
         self.cache = cache
         self.poll_interval = poll_interval
+        #: Soft per-worker RSS budget (MiB).  The scheduler polls every
+        #: busy worker's resident set alongside its deadline checks; a
+        #: worker over budget is terminated and its job completes as
+        #: ``oom_budget`` (with a postmortem) — never a pool crash.  RSS
+        #: gauges are published regardless; the budget only arms the kill.
+        self.max_rss_mb = max_rss_mb
+        self.rss_poll_interval = max(0.05, rss_poll_interval)
+        self._last_rss_poll = 0.0
         #: When set, every assignment gets a per-attempt flight-recorder
         #: journal here (see :mod:`repro.obs.flight`); journals of cleanly
         #: completed attempts are removed, crashed/hung ones are kept and
@@ -290,6 +305,12 @@ class WorkerPool:
             "jobs_dispatched": self.jobs_dispatched,
             "backlog": self.backlog(),
             "queue_size": self.queue_size,
+            "max_rss_mb": self.max_rss_mb,
+            "worker_rss_bytes": {
+                str(w.process.pid): w.last_rss
+                for w in self._workers
+                if w.process.pid is not None and w.last_rss is not None
+            },
         }
 
     # -- Live job view (the `/jobs` telemetry endpoint's provider) --------------
@@ -529,6 +550,9 @@ class WorkerPool:
                 if self._wake_r in ready:
                     self._drain_wake_pipe()
                 now = time.monotonic()
+                if now - self._last_rss_poll >= self.rss_poll_interval:
+                    self._last_rss_poll = now
+                    self._poll_worker_rss(registry)
                 for worker in busy:
                     if not worker.busy:
                         continue
@@ -649,6 +673,53 @@ class WorkerPool:
                     pass
             self._complete(ticket, result)
 
+    def _poll_worker_rss(self, registry) -> None:
+        """Resource poll: per-worker RSS gauges plus the soft-budget kill.
+
+        Runs on the scheduler thread alongside deadline enforcement.  Every
+        live worker's resident set is read from ``/proc`` and published as a
+        per-slot gauge (slot index, not pid, so the metric set stays
+        bounded across respawns); busy workers over ``max_rss_mb`` are
+        terminated through the same :meth:`_fail_attempt` path a deadline
+        overrun takes — the job completes as ``oom_budget``, never a pool
+        crash.
+        """
+        from repro.obs import rusage
+
+        budget_bytes = (
+            self.max_rss_mb * 1024 * 1024
+            if self.max_rss_mb is not None else None
+        )
+        over_budget: List[_Worker] = []
+        for index, worker in enumerate(list(self._workers)):
+            pid = worker.process.pid
+            if pid is None or not worker.process.is_alive():
+                continue
+            rss = rusage.process_rss_bytes(pid)
+            if rss is None:
+                continue
+            worker.last_rss = rss
+            registry.gauge(f"pool.worker.{index}.rss_bytes").set(float(rss))
+            registry.gauge("pool.peak_rss_bytes").set_max(float(rss))
+            if budget_bytes is not None and worker.busy and rss > budget_bytes:
+                over_budget.append(worker)
+        children_peak = rusage.children_peak_rss_bytes()
+        if children_peak:
+            registry.gauge("pool.children_peak_rss_bytes").set_max(
+                float(children_peak)
+            )
+        for worker in over_budget:
+            if not worker.busy:
+                continue  # completed between collection and kill
+            rss_mb = (worker.last_rss or 0) / (1024 * 1024)
+            registry.counter("pool.oom_budget_kills").inc()
+            self._fail_attempt(
+                worker,
+                f"oom_budget: worker rss {rss_mb:.0f}MB exceeded "
+                f"--max-rss-mb {self.max_rss_mb:g}",
+                OOM_BUDGET,
+            )
+
     def _fail_attempt(self, worker: _Worker, reason: str, status: str) -> None:
         """A worker crashed/hung on its job: retire it, retry or record."""
         ticket = worker.slot
@@ -657,6 +728,7 @@ class WorkerPool:
         elapsed = time.monotonic() - worker.assigned_at
         worker.clear()
         self._retire(worker)
+        self._journal_kill(worker, job, reason, status)
         ticket.failures.append(reason)
         self._recover_postmortem(ticket)
         will_retry = ticket.attempts <= self.max_retries
@@ -677,6 +749,45 @@ class WorkerPool:
                 job.job_id, job.name, job.solver, status,
                 wall_time=round(elapsed, 4), error=reason,
             ),
+        )
+
+    def _journal_kill(self, worker: _Worker, job: SynthesisJob,
+                      reason: str, status: str) -> None:
+        """Append the kill cause to the dead worker's flight journal.
+
+        The worker can no longer write (it has just been retired), so the
+        parent appends one ``{"kill": ...}`` record naming *why* it died —
+        deadline overrun, RSS-budget kill, or a crash of the worker's own
+        making — plus the terminating signal (from the negative exitcode)
+        and the scheduler's last RSS reading.  ``dryadsynth postmortem``
+        renders the three causes distinctly.
+        """
+        if not job.flight_journal:
+            return
+        from repro.obs import flight
+
+        if status == OOM_BUDGET:
+            cause = "oom_budget"
+        elif status == TIMEOUT:
+            cause = "deadline"
+        else:
+            cause = "crash"
+        exitcode = worker.process.exitcode
+        signal_name = None
+        if exitcode is not None and exitcode < 0:
+            import signal as _signal
+
+            try:
+                signal_name = _signal.Signals(-exitcode).name
+            except ValueError:
+                signal_name = f"signal {-exitcode}"
+        flight.append_kill_record(
+            job.flight_journal,
+            cause=cause,
+            reason=reason,
+            signal=signal_name,
+            exitcode=exitcode,
+            last_rss_bytes=worker.last_rss,
         )
 
     def _recover_postmortem(self, ticket: PoolTicket) -> None:

@@ -210,3 +210,80 @@ class TestForensicsFrontier:
         ])
         postmortem = read_postmortem(path)
         assert postmortem["frontier"] is None
+
+
+class TestKillRecords:
+    """Satellite: post-mortems distinguish kill causes.  The parent appends
+    a ``{"kill": ...}`` record to the dead worker's journal and the
+    renderer tells deadline, RSS-budget and self-inflicted deaths apart."""
+
+    def _dead_journal(self, tmp_path):
+        from repro.obs.flight import append_kill_record  # noqa: F401
+
+        path = tmp_path / "victim.flight.jsonl"
+        flight = FlightRecorder(str(path), meta={"name": "victim"})
+        flight.note("job.start", timeout=2.0)
+        # No job.end, no close: the worker is dead from here on.
+        return path
+
+    def test_kill_record_read_back(self, tmp_path):
+        from repro.obs.flight import append_kill_record
+
+        path = self._dead_journal(tmp_path)
+        append_kill_record(
+            str(path), cause="oom_budget", reason="rss over budget",
+            signal="SIGTERM", exitcode=-15,
+            last_rss_bytes=300 * 1024 * 1024,
+        )
+        journal = read_flight_journal(str(path))
+        kill = journal["kill"]
+        assert kill["cause"] == "oom_budget"
+        assert kill["signal"] == "SIGTERM"
+        assert kill["ts"] > 0
+        # The parent's append did not corrupt the worker's own records.
+        assert [n["name"] for n in journal["notes"]] == ["job.start"]
+        assert journal["corrupt"] == 0
+
+    def test_kill_record_survives_torn_worker_line(self, tmp_path):
+        from repro.obs.flight import append_kill_record
+
+        path = self._dead_journal(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"note": {"name": "half-writ')  # died mid-append
+        append_kill_record(str(path), cause="deadline", reason="2s over")
+        journal = read_flight_journal(str(path))
+        assert journal["kill"]["cause"] == "deadline"
+        # The torn half-line is interior damage now, counted not fatal.
+        assert journal["corrupt"] == 1
+
+    def test_render_distinguishes_causes(self, tmp_path):
+        from repro.obs.flight import append_kill_record
+
+        renderings = {}
+        for cause, extra in [
+            ("deadline", {"signal": "SIGKILL", "exitcode": -9}),
+            ("oom_budget", {"last_rss_bytes": 128 * 1024 * 1024}),
+            ("crash", {"exitcode": 13}),
+        ]:
+            (tmp_path / cause).mkdir()
+            path = self._dead_journal(tmp_path / cause)
+            append_kill_record(str(path), cause=cause,
+                               reason=f"{cause} reason", **extra)
+            renderings[cause] = render_postmortem(read_postmortem(str(path)))
+        assert ("killed (deadline): hard deadline exceeded"
+                in renderings["deadline"])
+        assert "signal=SIGKILL" in renderings["deadline"]
+        assert ("killed (oom_budget): RSS budget exceeded"
+                in renderings["oom_budget"])
+        assert "last_rss=128.0MB" in renderings["oom_budget"]
+        assert ("killed (crash): worker died on its own"
+                in renderings["crash"])
+        assert "exitcode=13" in renderings["crash"]
+        for cause in renderings:
+            assert f"reason: {cause} reason" in renderings[cause]
+
+    def test_no_kill_record_renders_nothing(self, tmp_path):
+        path = self._dead_journal(tmp_path)
+        postmortem = read_postmortem(str(path))
+        assert postmortem["kill"] is None
+        assert "killed (" not in render_postmortem(postmortem)

@@ -117,3 +117,87 @@ class TestEndToEnd:
         assert report.phase("synth").count == 1
         text = profile_text(recorder.spans, top=3)
         assert "hottest smt.solve spans" in text
+
+
+class TestDarkTime:
+    """Satellite: traced wall outside any root span, per process, with no
+    sampler involved — the report names it even from a plain span dump."""
+
+    def test_gap_between_roots_is_dark(self):
+        from repro.obs.profile import compute_dark_time
+
+        spans = [
+            _span(1, None, "load", 0.0, 2.0),
+            _span(2, None, "synth", 5.0, 5.0),  # 3s gap: 2.0 → 5.0
+            _span(3, 2, "enum", 5.0, 4.0),  # child: not a root interval
+        ]
+        (entry,) = compute_dark_time(spans)
+        assert entry["pid"] == 0
+        assert abs(entry["window"] - 10.0) < 1e-9
+        assert abs(entry["covered"] - 7.0) < 1e-9
+        assert abs(entry["dark"] - 3.0) < 1e-9
+
+    def test_overlapping_roots_not_double_counted(self):
+        from repro.obs.profile import compute_dark_time
+
+        spans = [
+            _span(1, None, "a", 0.0, 6.0),
+            _span(2, None, "b", 4.0, 6.0),  # overlaps a by 2s
+        ]
+        (entry,) = compute_dark_time(spans)
+        assert abs(entry["covered"] - 10.0) < 1e-9
+        assert abs(entry["dark"] - 0.0) < 1e-9
+
+    def test_orphan_parent_counts_as_root(self):
+        from repro.obs.profile import compute_dark_time
+
+        # A merged worker tree can reference a parent id that was never
+        # shipped; such spans are roots for coverage purposes.
+        spans = [_span(1, 999, "orphan", 1.0, 2.0)]
+        (entry,) = compute_dark_time(spans)
+        assert abs(entry["dark"] - 0.0) < 1e-9
+
+    def test_per_pid_windows_are_independent(self):
+        from repro.obs.spans import Span
+
+        from repro.obs.profile import compute_dark_time
+
+        spans = [
+            Span(1, None, "parent", 0.0, 10.0, pid=100),
+            Span(2, None, "worker", 2.0, 4.0, pid=200),
+            Span(3, None, "worker", 8.0, 2.0, pid=200),
+        ]
+        by_pid = {e["pid"]: e for e in compute_dark_time(spans)}
+        assert set(by_pid) == {100, 200}
+        assert abs(by_pid[100]["dark"] - 0.0) < 1e-9
+        # Worker window 2.0 → 10.0 with 2s uncovered in the middle.
+        assert abs(by_pid[200]["window"] - 8.0) < 1e-9
+        assert abs(by_pid[200]["dark"] - 2.0) < 1e-9
+
+    def test_render_profile_prints_dark_line(self):
+        spans = [
+            _span(1, None, "load", 0.0, 2.0),
+            _span(2, None, "synth", 5.0, 5.0),
+        ]
+        text = render_profile(build_profile(spans))
+        assert "dark time (pid 0): 3.000s of 10.000s window" in text
+        assert "outside any root span" in text
+
+    def test_profile_text_without_sampler_has_no_frames_section(self):
+        spans = [_span(1, None, "synth", 0.0, 1.0)]
+        text = profile_text(spans)
+        assert "dark time (pid 0)" in text
+        assert "hottest dark frames" not in text
+
+    def test_profile_text_with_sampled_profile_names_dark_frames(self):
+        from repro.obs.sampler import StackProfile
+
+        spans = [_span(1, None, "synth", 0.0, 1.0)]
+        profile = StackProfile()
+        profile.record("repro/cli.py:main;repro/sygus/parser.py:parse",
+                       dark=True, count=7)
+        profile.record("repro/cli.py:main;repro/synth/cegis.py:refine",
+                       count=3)
+        text = profile_text(spans, profile=profile)
+        assert "hottest dark frames (7 of 10 samples outside any span)" in text
+        assert "repro/sygus/parser.py:parse" in text

@@ -1,0 +1,47 @@
+"""Tests for the resource-accounting helpers (:mod:`repro.obs.rusage`)."""
+
+import os
+
+from repro.obs import rusage
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        snap = rusage.snapshot()
+        assert set(snap) == {"peak_rss_bytes", "user_cpu", "sys_cpu"}
+        assert snap["peak_rss_bytes"] > 0
+        assert snap["user_cpu"] >= 0.0
+        assert snap["sys_cpu"] >= 0.0
+
+    def test_peak_rss_is_bytes_not_kilobytes(self):
+        # A Python interpreter's peak RSS is far above 10 MB; if the
+        # platform unit (KiB on Linux) leaked through un-normalized this
+        # would read ~20_000 instead of ~20_000_000.
+        assert rusage.self_peak_rss_bytes() > 10 * 1024 * 1024
+
+    def test_delta_cpu_is_monotonic_and_rounded(self):
+        before = rusage.snapshot()
+        sum(i * i for i in range(200_000))  # burn a little user CPU
+        after = rusage.delta(before)
+        assert after["user_cpu"] >= 0.0
+        assert after["sys_cpu"] >= 0.0
+        # Peak RSS in a delta stays absolute (a high-water mark, not a diff).
+        assert after["peak_rss_bytes"] >= before["peak_rss_bytes"]
+
+    def test_children_snapshot(self):
+        snap = rusage.snapshot(children=True)
+        assert snap["peak_rss_bytes"] >= 0
+
+
+class TestProcessRss:
+    def test_own_pid(self):
+        rss = rusage.process_rss_bytes(os.getpid())
+        assert rss is not None
+        assert rss > 1024 * 1024  # a live interpreter is well over 1 MB
+
+    def test_default_is_self(self):
+        assert rusage.process_rss_bytes() is not None
+
+    def test_bogus_pid_returns_none(self):
+        # PIDs max out well below 2**30 on any stock Linux configuration.
+        assert rusage.process_rss_bytes(2**30 + 7) is None

@@ -1,0 +1,345 @@
+"""Tests for the wall-clock stack sampler and its collapsed-stack format.
+
+The contract from the issue: collapsed lines are valid FlameGraph input
+(``frame;frame;frame count``), start/stop are idempotent, profiles merge
+across the WorkerPool process boundary like span trees (on both start
+methods), ``.collapsed`` loading follows the torn-tail tolerance contract,
+and samples taken while a thread had no open span are classified dark.
+"""
+
+import os
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs.sampler import (
+    StackProfile,
+    StackSampler,
+    collapse_frame,
+    frame_label,
+    load_collapsed,
+    read_profile_record,
+    write_collapsed,
+)
+from repro.obs.spans import SpanRecorder
+
+#: One collapsed line: semicolon-joined frames (no spaces) then a count.
+COLLAPSED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+
+
+def _busy_wait(seconds):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        sum(range(100))
+
+
+class TestCollapsedFormat:
+    def test_frame_label_sanitizes_structural_characters(self):
+        class Code:
+            co_filename = "/tmp/weird path;x/repro/synth/a b.py"
+            co_name = "fn;with tabs\t"
+
+        label = frame_label(Code())
+        assert ";" not in label.replace(",", "")
+        assert " " not in label
+        assert "\t" not in label
+        assert label.startswith("repro/synth/")
+
+    def test_collapse_frame_is_root_to_leaf(self):
+        import sys
+
+        frame = sys._getframe()
+        stack = collapse_frame(frame)
+        # The leaf (this test function) is the LAST frame, FlameGraph-style.
+        assert stack.rsplit(";", 1)[-1].endswith("test_collapse_frame_is_root_to_leaf")
+
+    def test_to_collapsed_lines_are_flamegraph_valid(self):
+        profile = StackProfile()
+        profile.record("a.py:main;b.py:solve", count=3)
+        profile.record("a.py:main", count=1)
+        lines = profile.to_collapsed().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert COLLAPSED_LINE.match(line), line
+        # Sorted by count descending.
+        assert lines[0] == "a.py:main;b.py:solve 3"
+
+
+class TestSampler:
+    def test_collects_samples_and_duration(self):
+        sampler = StackSampler(interval=0.002)
+        sampler.start()
+        _busy_wait(0.15)
+        profile = sampler.stop()
+        assert profile.samples > 5
+        assert profile.duration > 0.1
+        assert os.getpid() in profile.pids
+        for line in profile.to_collapsed().splitlines():
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_start_stop_idempotent(self):
+        sampler = StackSampler(interval=0.002)
+        assert sampler.start() is sampler
+        thread = sampler._thread
+        sampler.start()  # second start is a no-op
+        assert sampler._thread is thread
+        sampler.stop()
+        assert not sampler.running
+        sampler.stop()  # second stop is a no-op
+        assert not sampler.running
+        # And the sampler is restartable after a stop.
+        sampler.start()
+        assert sampler.running
+        sampler.stop()
+
+    def test_context_manager(self):
+        with StackSampler(interval=0.002) as sampler:
+            assert sampler.running
+            _busy_wait(0.05)
+        assert not sampler.running
+        assert sampler.profile.samples > 0
+
+    def test_dark_classification_against_recorder(self):
+        recorder = SpanRecorder()
+        sampler = StackSampler(interval=0.002, recorder=recorder)
+        sampler.start()
+        with recorder.span("lit.phase"):
+            _busy_wait(0.08)
+        _busy_wait(0.08)  # no span open: these samples are dark
+        profile = sampler.stop()
+        dark = sum(profile.dark.values())
+        assert 0 < dark < profile.samples
+
+    def test_no_recorder_means_everything_dark(self):
+        with StackSampler(interval=0.002) as sampler:
+            _busy_wait(0.05)
+        profile = sampler.profile
+        assert sum(profile.dark.values()) == profile.samples
+
+    def test_other_threads_are_sampled(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=lambda: _busy_wait(0.3) or stop.wait(0.01)
+        )
+        worker.start()
+        try:
+            with StackSampler(interval=0.002) as sampler:
+                _busy_wait(0.1)
+        finally:
+            worker.join()
+        assert sampler.profile.samples > 0
+
+
+class TestMergeAndSerialization:
+    def test_merge_adds_counts_keywise(self):
+        a = StackProfile()
+        a.record("m:f;m:g", dark=True, count=2)
+        b = StackProfile()
+        b.record("m:f;m:g", count=3)
+        b.record("m:h", count=1)
+        b.pids = [123]
+        a.merge(b)
+        assert a.counts == {"m:f;m:g": 5, "m:h": 1}
+        assert a.dark == {"m:f;m:g": 2}
+        assert a.samples == 6
+        assert 123 in a.pids
+
+    def test_json_roundtrip(self):
+        a = StackProfile(interval=0.01)
+        a.record("m:f;m:g", dark=True, count=4)
+        a.duration = 1.5
+        a.pids = [7]
+        b = StackProfile.from_json(a.to_json())
+        assert b.counts == a.counts
+        assert b.dark == a.dark
+        assert b.samples == a.samples
+        assert b.pids == [7]
+
+    def test_merge_accepts_json_dict(self):
+        a = StackProfile()
+        b = StackProfile()
+        b.record("m:f", count=2)
+        a.merge(b.to_json())
+        assert a.counts == {"m:f": 2}
+
+
+class TestCollapsedFiles:
+    def test_write_load_roundtrip(self, tmp_path):
+        profile = StackProfile()
+        profile.record("a:main;b:solve", count=3)
+        profile.record("a:main;c:check", count=1)
+        path = str(tmp_path / "p.collapsed")
+        write_collapsed(profile, path)
+        loaded = load_collapsed(path)
+        assert loaded.counts == profile.counts
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = str(tmp_path / "torn.collapsed")
+        with open(path, "wb") as handle:
+            handle.write(b"a:main;b:solve 3\n")
+            handle.write(b"a:main;c:che")  # killed mid-append
+        loaded = load_collapsed(path)
+        assert loaded.counts == {"a:main;b:solve": 3}
+
+    def test_torn_mid_multibyte_tail_dropped(self, tmp_path):
+        path = str(tmp_path / "mb.collapsed")
+        payload = "a:main;b:solé 3\n".encode("utf-8")
+        with open(path, "wb") as handle:
+            handle.write(b"a:main 2\n")
+            handle.write(payload[:-4])  # cut inside the two-byte e-acute
+        loaded = load_collapsed(path)
+        assert loaded.counts == {"a:main": 2}
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = str(tmp_path / "bad.collapsed")
+        with open(path, "w") as handle:
+            handle.write("not a collapsed line\n")
+            handle.write("a:main 2\n")
+        with pytest.raises(ValueError, match="bad.collapsed:1"):
+            load_collapsed(path)
+
+
+class TestProfileInSpanDump:
+    def test_dump_carries_profile_record(self, tmp_path):
+        from repro.obs.export import write_spans_jsonl
+
+        recorder = SpanRecorder()
+        with recorder.span("phase"):
+            pass
+        profile = StackProfile()
+        profile.record("m:f", count=2)
+        recorder.profile = profile
+        path = str(tmp_path / "spans.jsonl")
+        write_spans_jsonl(recorder, path)
+        loaded = read_profile_record(path)
+        assert loaded is not None
+        assert loaded.counts == {"m:f": 2}
+
+    def test_dump_without_profile_reads_none(self, tmp_path):
+        from repro.obs.export import write_spans_jsonl
+
+        recorder = SpanRecorder()
+        with recorder.span("phase"):
+            pass
+        path = str(tmp_path / "spans.jsonl")
+        write_spans_jsonl(recorder, path)
+        assert read_profile_record(path) is None
+
+
+def _available_start_methods():
+    import multiprocessing as mp
+
+    return [m for m in ("fork", "spawn") if m in mp.get_all_start_methods()]
+
+
+class TestCrossProcessMerge:
+    @pytest.mark.parametrize("start_method", _available_start_methods())
+    def test_worker_profiles_merge_into_parent(self, start_method):
+        from repro import obs
+        from repro.service.jobs import SynthesisJob
+        from repro.service.pool import WorkerPool
+
+        jobs = [
+            SynthesisJob(problem_text="", solver="debug-sleep@0.3",
+                         hard_timeout=60, name=f"s{i}", sample=True)
+            for i in range(2)
+        ]
+        with obs.recording() as recorder:
+            with WorkerPool(workers=2, start_method=start_method) as pool:
+                results = pool.run(jobs)
+        assert all(r.status == "unsolved" for r in results)
+        # Each worker shipped a profile; the parent merged them by stack key.
+        merged = recorder.profile
+        assert merged is not None
+        assert merged.samples > 0
+        assert len(merged.pids) == 2
+        worker_pids = {r.rusage is not None for r in results}
+        assert worker_pids == {True}
+        for line in merged.to_collapsed().splitlines():
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_sample_only_job_ships_no_spans(self):
+        from repro.service.jobs import SynthesisJob, execute_job
+
+        job = SynthesisJob(problem_text="", solver="debug-sleep@0.1",
+                           hard_timeout=60, sample=True)
+        result = execute_job(job)
+        assert result.telemetry is not None
+        assert "spans" not in result.telemetry
+        assert "profile" in result.telemetry
+
+    def test_sample_is_fingerprint_neutral(self):
+        from repro.service.jobs import SynthesisJob
+
+        plain = SynthesisJob(problem_text="x", solver="debug-solve")
+        sampled = SynthesisJob(problem_text="x", solver="debug-solve",
+                               sample=True)
+        assert plain.fingerprint() == sampled.fingerprint()
+
+
+class TestFlameCli:
+    def _profile_dump(self, tmp_path, counts, name="spans.jsonl"):
+        from repro.obs.export import write_spans_jsonl
+
+        recorder = SpanRecorder()
+        with recorder.span("phase"):
+            pass
+        profile = StackProfile()
+        for stack, count in counts.items():
+            profile.record(stack, count=count)
+        profile.duration = 1.0
+        recorder.profile = profile
+        path = str(tmp_path / name)
+        write_spans_jsonl(recorder, path)
+        return path
+
+    def test_flame_renders_top_frames(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._profile_dump(
+            tmp_path, {"a:main;b:solve": 30, "a:main;c:check": 10}
+        )
+        assert main(["flame", path, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "b:solve" in out
+        assert "40 samples" in out
+
+    def test_flame_collapsed_out_is_valid(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._profile_dump(tmp_path, {"a:main;b:solve": 3})
+        out_path = str(tmp_path / "out.collapsed")
+        assert main(["flame", path, "--collapsed-out", out_path]) == 0
+        with open(out_path) as handle:
+            lines = handle.read().splitlines()
+        assert lines == ["a:main;b:solve 3"]
+        # And the exported file is itself a valid flame target.
+        assert main(["flame", out_path]) == 0
+
+    def test_flame_diff_mode(self, tmp_path, capsys):
+        from repro.cli import main
+
+        current = self._profile_dump(
+            tmp_path, {"a:main;b:solve": 30, "a:main;c:check": 10}, "b.jsonl"
+        )
+        baseline = self._profile_dump(
+            tmp_path, {"a:main;b:solve": 10, "a:main;c:check": 30}, "a.jsonl"
+        )
+        assert main(["flame", current, "--diff", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "b:solve" in out and "c:check" in out
+
+    def test_flame_without_profile_errors(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.export import write_spans_jsonl
+
+        recorder = SpanRecorder()
+        with recorder.span("phase"):
+            pass
+        path = str(tmp_path / "plain.jsonl")
+        write_spans_jsonl(recorder, path)
+        assert main(["flame", path]) == 2
+        assert "no sampled profile" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""One torn-tail tolerance contract, four append-only stores.
+
+Every append-only store in the repo — span dumps, ``BENCH_history.jsonl``,
+``BENCH_analytics.jsonl``, and the sampler's ``.collapsed`` export — shares
+the same recovery contract: a writer killed mid-append (SIGKILL, hard
+deadline, power loss) leaves a truncated final line, possibly torn in the
+middle of a multi-byte UTF-8 character, and the reader must drop exactly
+that line while recovering every complete record before it.  A corrupt
+*interior* line still raises, because that means damage, not an
+interrupted append.  This test drives all four loaders through one
+parametrized harness so the contract cannot drift per store.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.analytics import ANALYTICS_FORMAT, load_analytics
+from repro.bench.history import HISTORY_FORMAT, load_history
+from repro.obs.export import read_jsonl_tolerant
+from repro.obs.sampler import load_collapsed
+
+
+def _jsonl_record(index):
+    # The non-ASCII benchmark name puts multi-byte UTF-8 on every line
+    # (ensure_ascii=False keeps it unescaped), so the torn-tail case can
+    # cut inside a character.
+    return json.dumps(
+        {"record": index, "name": f"bench-é-{index}"}, ensure_ascii=False
+    )
+
+
+def _history_record(index):
+    return json.dumps(
+        {"format": HISTORY_FORMAT, "solved": index, "suite": f"café-{index}"},
+        ensure_ascii=False,
+    )
+
+
+def _analytics_record(index):
+    return json.dumps(
+        {"format": ANALYTICS_FORMAT, "nodes": [], "solver": f"café-{index}"},
+        ensure_ascii=False,
+    )
+
+
+def _collapsed_record(index):
+    return f"repro/a.py:main;repro/b.py:solvé_{index} {index + 1}"
+
+
+def _load_spans_store(path):
+    return read_jsonl_tolerant(path)
+
+
+STORES = [
+    pytest.param("spans.jsonl", _jsonl_record, _load_spans_store, id="spans"),
+    pytest.param(
+        "BENCH_history.jsonl", _history_record, load_history, id="history"
+    ),
+    pytest.param(
+        "BENCH_analytics.jsonl", _analytics_record, load_analytics,
+        id="analytics",
+    ),
+    pytest.param(
+        "profile.collapsed",
+        _collapsed_record,
+        lambda path: load_collapsed(path).counts,
+        id="collapsed",
+    ),
+]
+
+
+def _write(path, lines, tail=b""):
+    with open(path, "wb") as handle:
+        for line in lines:
+            handle.write(line.encode("utf-8") + b"\n")
+        handle.write(tail)
+
+
+@pytest.mark.parametrize("filename, make_record, load", STORES)
+class TestTolerantReaders:
+    def test_full_read(self, tmp_path, filename, make_record, load):
+        path = str(tmp_path / filename)
+        _write(path, [make_record(i) for i in range(3)])
+        assert len(load(path)) == 3
+
+    def test_torn_ascii_tail_dropped(self, tmp_path, filename, make_record,
+                                     load):
+        path = str(tmp_path / filename)
+        torn = make_record(99).encode("utf-8")
+        # Cut before any multi-byte character: a plain half-written line.
+        _write(path, [make_record(i) for i in range(3)], tail=torn[:5])
+        assert len(load(path)) == 3
+
+    def test_torn_mid_multibyte_tail_dropped(self, tmp_path, filename,
+                                             make_record, load):
+        path = str(tmp_path / filename)
+        torn = make_record(99).encode("utf-8")
+        # Cut one byte past the first byte of the two-byte "é": the tail is
+        # not even decodable, which killed the old text-mode readers.
+        cut = torn.index("é".encode("utf-8")) + 1
+        tail = torn[:cut]
+        with pytest.raises(UnicodeDecodeError):
+            tail.decode("utf-8")
+        _write(path, [make_record(i) for i in range(3)], tail=tail)
+        assert len(load(path)) == 3
+
+    def test_corrupt_interior_line_raises(self, tmp_path, filename,
+                                          make_record, load):
+        path = str(tmp_path / filename)
+        lines = [make_record(0), "{torn interior garbage", make_record(2)]
+        if filename.endswith(".collapsed"):
+            lines[1] = "no trailing count here"
+        _write(path, lines)
+        with pytest.raises(ValueError):
+            load(path)
+
+    def test_empty_file(self, tmp_path, filename, make_record, load):
+        path = str(tmp_path / filename)
+        _write(path, [])
+        assert len(load(path)) == 0

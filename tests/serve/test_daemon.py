@@ -365,3 +365,77 @@ class TestStats:
         assert pool_stats["jobs_dispatched"] == 5
         # One warm worker served all five jobs — no per-job respawn.
         assert pool_stats["workers_spawned"] == 1
+
+
+class TestMemoryAccounting:
+    """Tentpole: RSS visibility and the leak-watch health condition."""
+
+    def test_stats_carry_memory_block(self, stack):
+        daemon, server = stack()
+        _, _, view = post_json(server.url, {"problem": "p"})
+        wait_terminal(server.url, view["id"])
+        status, stats = get_json(server.url, "/v1/stats")
+        assert status == 200
+        memory = stats["memory"]
+        assert memory["daemon_rss_bytes"] > 1024 * 1024
+        # ru_maxrss updates on kernel schedule, so it may trail the live
+        # /proc reading by a page or two — only its magnitude is asserted.
+        assert memory["daemon_peak_rss_bytes"] > 1024 * 1024
+        assert memory["max_rss_mb"] is None
+        # One completed request cannot fill the leak ring.
+        assert memory["leak_slope_bytes_per_request"] is None
+        assert memory["leak_window"] <= 1
+
+    def test_max_rss_mb_threads_through_to_pool(self, stack):
+        daemon, server = stack(max_rss_mb=512)
+        _, stats = get_json(server.url, "/v1/stats")
+        assert stats["memory"]["max_rss_mb"] == 512
+        assert daemon.pool.max_rss_mb == 512
+
+    def test_leak_slope_none_until_ring_full(self, stack):
+        daemon, server = stack(leak_window=4)
+        base = 100 * 1024 * 1024
+        for request_number in range(3):
+            daemon._rss_samples.append((request_number, base))
+        assert daemon._leak_slope() is None
+        daemon._rss_samples.append((3, base))
+        assert daemon._leak_slope() == 0.0
+
+    def test_flat_rss_does_not_trip(self, stack):
+        daemon, server = stack(leak_window=4)
+        for request_number in range(4):
+            daemon._rss_samples.append((request_number, 100 * 1024 * 1024))
+        status, payload = get_json(server.url, "/healthz")
+        assert status == 200
+        condition = payload["conditions"]["rss_leak"]
+        assert condition["tripped"] is False
+        assert condition["slope_bytes_per_request"] == 0.0
+
+    def test_growing_rss_degrades_health(self, stack):
+        daemon, server = stack(leak_window=4, leak_slope_mb=8.0)
+        base = 100 * 1024 * 1024
+        for request_number in range(4):
+            # +16 MB per completed request: double the 8 MB/request limit.
+            daemon._rss_samples.append(
+                (request_number, base + request_number * 16 * 1024 * 1024)
+            )
+        status, payload = get_json(server.url, "/healthz")
+        assert status == 503
+        condition = payload["conditions"]["rss_leak"]
+        assert condition["tripped"] is True
+        assert condition["slope_bytes_per_request"] > 8 * 1024 * 1024
+        assert condition["window"] == 4
+        assert any("rss leak" in reason for reason in payload["reasons"])
+        # The leak slope also shows in stats for `dryadsynth top`.
+        _, stats = get_json(server.url, "/v1/stats")
+        assert stats["memory"]["leak_slope_bytes_per_request"] > 0
+
+    def test_spike_protection_window_resets(self, stack):
+        # A deque(maxlen=window) forgets the pre-spike baseline: only the
+        # last `window` requests can trip the condition.
+        daemon, server = stack(leak_window=4)
+        for request_number in range(8):
+            rss = 100 * 1024 * 1024 + (64 * 1024 * 1024
+                                       if request_number == 3 else 0)
+            daemon._rss_samples.append((request_number, rss))
+        assert daemon._leak_slope() == 0.0

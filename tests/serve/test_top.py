@@ -116,3 +116,75 @@ class TestAgainstLiveDaemon:
         payload = _fetch_json(server.url + "/healthz")
         assert payload is not None
         assert payload["status"] == "degraded"
+
+
+class TestStrippedStatsPayload:
+    """Satellite regression: a stripped or older daemon may omit any key
+    (or send explicit nulls); every such hole renders as ``-``, never a
+    KeyError/TypeError crash."""
+
+    def _strip(self, payload):
+        """Null out every leaf of a nested payload, keeping the shape."""
+        if isinstance(payload, dict):
+            return {k: self._strip(v) for k, v in payload.items()}
+        if isinstance(payload, list):
+            return [self._strip(v) for v in payload]
+        return None
+
+    def test_all_values_nulled_renders_dashes(self):
+        stats = self._strip(SAMPLE_STATS)
+        stats["state"] = "running"  # keep the banner recognizable
+        frame = render_dashboard(stats, self._strip(SAMPLE_HEALTH))
+        assert "state=running" in frame
+        assert "health=UNKNOWN" in frame
+        assert "uptime=-s" in frame
+        assert "cache_hit_rate=-" in frame
+        # Latency needs a count to be worth a section; nulled = omitted.
+        assert "p50=" not in frame
+        assert "\x1b[" not in frame
+
+    def test_blocks_missing_entirely(self):
+        # Nothing but a state: no latency, slo, memory, pool... blocks.
+        frame = render_dashboard({"state": "draining"}, {})
+        assert "state=draining" in frame
+        assert "cache_hit_rate=-" in frame
+
+    def test_latency_block_missing_keys(self):
+        stats = dict(SAMPLE_STATS)
+        stats["latency"] = {"overall": {"count": 4}}  # no percentiles
+        frame = render_dashboard(stats, SAMPLE_HEALTH)
+        assert "p50=       -" in frame
+        assert "n=4" in frame
+
+    def test_non_numeric_garbage_renders_dashes(self):
+        stats = dict(SAMPLE_STATS)
+        stats["uptime_seconds"] = "soon"
+        stats["memory"] = {"daemon_rss_bytes": "lots",
+                           "max_rss_mb": None,
+                           "leak_slope_bytes_per_request": True}
+        frame = render_dashboard(stats, SAMPLE_HEALTH)
+        assert "uptime=-s" in frame
+        assert "daemon=-" in frame
+        assert "leak=-/req" in frame
+
+    def test_memory_line(self):
+        stats = dict(SAMPLE_STATS)
+        stats["memory"] = {
+            "daemon_rss_bytes": 100 * 1024 * 1024,
+            "daemon_peak_rss_bytes": 150 * 1024 * 1024,
+            "children_peak_rss_bytes": 220 * 1024 * 1024,
+            "pool_peak_rss_bytes": 210 * 1024 * 1024,
+            "max_rss_mb": 512,
+            "leak_slope_bytes_per_request": 2.5 * 1024 * 1024,
+            "leak_window": 16,
+        }
+        frame = render_dashboard(stats, SAMPLE_HEALTH)
+        assert "daemon=100MB" in frame
+        assert "peak=150MB" in frame
+        assert "children_peak=220MB" in frame
+        assert "budget=512MB" in frame
+        assert "leak=2MB/req" in frame
+
+    def test_memory_line_absent_without_block(self):
+        frame = render_dashboard(SAMPLE_STATS, SAMPLE_HEALTH)
+        assert "memory    " not in frame
